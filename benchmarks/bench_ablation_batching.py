@@ -1,0 +1,67 @@
+"""Ablation — batched (rolling-horizon) dispatch window.
+
+The paper lists non-heuristic online algorithms as future work; the batched
+dispatcher is the standard industrial step in that direction.  This ablation
+sweeps the batching window on the same workload and compares against the
+per-order maxMargin heuristic and the clairvoyant offline greedy:
+
+* a window of a couple of minutes recovers a sizeable share of the gap
+  between the per-order heuristic and the offline plan;
+* windows longer than the riders' publish lead start missing pickup
+  deadlines and the value collapses — batching is a latency/quality
+  trade-off, not a free lunch.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.offline import greedy_assignment
+from repro.online import MaxMarginDispatcher, OnlineSimulator, run_batched
+
+WINDOWS_S = (30.0, 120.0, 300.0, 600.0)
+
+
+def run_batching_ablation(instance):
+    offline = greedy_assignment(instance).total_value
+    per_order = OnlineSimulator(instance, MaxMarginDispatcher()).run().total_value
+    rows = []
+    for window in WINDOWS_S:
+        outcome = run_batched(instance, window_s=window)
+        rows.append(
+            {
+                "window_s": window,
+                "profit": outcome.total_value,
+                "serve_rate": outcome.serve_rate,
+                "vs_per_order": outcome.total_value / per_order if per_order > 0 else 0.0,
+                "vs_offline": outcome.total_value / offline if offline > 0 else 0.0,
+            }
+        )
+    return offline, per_order, rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_batching_window(benchmark, hitchhiking_workload, save_table):
+    instance = hitchhiking_workload.instance_with_drivers(
+        hitchhiking_workload.config.scale.driver_counts[-1]
+    )
+    offline, per_order, rows = benchmark.pedantic(
+        run_batching_ablation, args=(instance,), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["window_s", "profit", "serve_rate", "vs maxMargin", "vs offline greedy"],
+        [[r["window_s"], r["profit"], r["serve_rate"], r["vs_per_order"], r["vs_offline"]] for r in rows],
+    )
+    save_table(
+        "ablation_batching",
+        f"Batched-dispatch ablation (offline greedy = {offline:.2f}, per-order maxMargin = {per_order:.2f})\n"
+        + table,
+    )
+    benchmark.extra_info["per_order_profit"] = per_order
+    benchmark.extra_info["best_batched_profit"] = max(r["profit"] for r in rows)
+
+    # Short windows must be competitive with the per-order heuristic.
+    best = max(r["profit"] for r in rows)
+    assert best >= 0.8 * per_order
+    # Nothing beats the clairvoyant offline plan.
+    for r in rows:
+        assert r["profit"] <= offline + 1e-6

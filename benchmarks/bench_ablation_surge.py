@@ -1,0 +1,37 @@
+"""Ablation — effect of the surge multiplier (Eq. 15) on the market.
+
+Section VI-C argues that surge pricing is one of the levers a platform has to
+control market congestion.  This ablation re-prices the same day of trips at
+several static multipliers and reports how drivers' total profit, the serve
+rate and per-driver revenue respond: profits scale with the multiplier while
+the set of tasks that are *feasible* to serve stays essentially unchanged.
+"""
+
+import pytest
+
+from repro.experiments import run_surge_ablation
+
+MULTIPLIERS = (1.0, 1.2, 1.5, 2.0, 2.5)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_surge_multiplier(benchmark, hitchhiking_config, save_table):
+    result = benchmark.pedantic(
+        run_surge_ablation,
+        kwargs={"multipliers": MULTIPLIERS, "config": hitchhiking_config},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("ablation_surge", result.render())
+
+    profits = [p.total_profit for p in result.points]
+    serve_rates = [p.serve_rate for p in result.points]
+    benchmark.extra_info["profit_at_1x"] = profits[0]
+    benchmark.extra_info["profit_at_2.5x"] = profits[-1]
+
+    # Higher payoffs strictly increase drivers' total profit...
+    assert all(later > earlier for earlier, later in zip(profits, profits[1:]))
+    # ...and roughly proportionally (doubling fares should more than 1.5x profits).
+    assert profits[-1] > 1.5 * profits[0]
+    # ...while feasibility (which tasks can be reached in time) is unaffected.
+    assert max(serve_rates) - min(serve_rates) <= 0.05

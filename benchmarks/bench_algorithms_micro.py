@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the core algorithmic kernels.
+
+Not figures from the paper, but the operational numbers a user of the library
+cares about: how long task-map construction, the greedy solve, the online
+simulators and the LP bound take at the benchmark scale.  These use repeated
+pytest-benchmark rounds (they are fast) so regressions are visible.
+"""
+
+import pytest
+
+from repro.market import MarketInstance, build_task_network
+from repro.offline import greedy_assignment, lagrangian_bound, lp_relaxation_bound
+from repro.online import MaxMarginDispatcher, NearestDispatcher, OnlineSimulator
+
+
+@pytest.fixture(scope="module")
+def instance(hitchhiking_workload):
+    return hitchhiking_workload.instance_with_drivers(
+        hitchhiking_workload.config.scale.driver_counts[-1]
+    )
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_task_network_construction(benchmark, instance):
+    network = benchmark(build_task_network, instance.tasks, instance.cost_model)
+    assert network.task_count == instance.task_count
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_task_maps_construction(benchmark, instance):
+    def build_maps():
+        fresh = MarketInstance(
+            drivers=instance.drivers, tasks=instance.tasks, cost_model=instance.cost_model
+        )
+        return fresh.task_maps
+
+    maps = benchmark(build_maps)
+    assert len(maps) == instance.driver_count
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_greedy_solve(benchmark, instance):
+    solution = benchmark(greedy_assignment, instance)
+    assert solution.total_value > 0.0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_online_max_margin(benchmark, instance):
+    outcome = benchmark(lambda: OnlineSimulator(instance, MaxMarginDispatcher()).run())
+    assert outcome.served_count > 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_online_nearest(benchmark, instance):
+    outcome = benchmark(lambda: OnlineSimulator(instance, NearestDispatcher()).run())
+    assert outcome.served_count > 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_lagrangian_bound(benchmark, instance):
+    result = benchmark.pedantic(
+        lagrangian_bound, args=(instance,), kwargs={"iterations": 10}, rounds=3, iterations=1
+    )
+    assert result.upper_bound > 0.0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_lp_relaxation_bound(benchmark, instance):
+    result = benchmark.pedantic(lp_relaxation_bound, args=(instance,), rounds=1, iterations=1)
+    assert result.upper_bound > 0.0

@@ -1,0 +1,33 @@
+"""Figure 3 — travel-time distribution of the (synthetic) Porto trace.
+
+Paper shape: trip durations follow a power-law-like heavy-tailed
+distribution.  The benchmark regenerates the distribution summary (count,
+median, p90/p99, MLE tail exponent, heaviness) and asserts on the shape.
+"""
+
+import pytest
+
+from repro.analysis import format_metric_dict
+from repro.experiments import run_distribution_experiment
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_travel_time_distribution(benchmark, hitchhiking_config, save_table):
+    result = benchmark.pedantic(
+        run_distribution_experiment, args=(hitchhiking_config,), rounds=1, iterations=1
+    )
+    summary = result.travel_time
+    save_table(
+        "fig3_travel_time",
+        "Fig. 3 - travel time distribution (minutes)\n" + format_metric_dict(summary.as_dict()),
+    )
+    benchmark.extra_info["median_min"] = summary.median
+    benchmark.extra_info["p99_min"] = summary.p99
+    benchmark.extra_info["tail_exponent"] = summary.tail_exponent
+
+    # Shape assertions: heavy right tail, city-trip median, power-law exponent
+    # in the usual 1.5-3.5 band.
+    assert summary.median < summary.mean
+    assert summary.heaviness > 3.0
+    assert 1.5 <= summary.tail_exponent <= 4.0
+    assert 3.0 <= summary.median <= 15.0

@@ -1,0 +1,31 @@
+"""Figure 4 — travel-distance distribution of the (synthetic) Porto trace.
+
+Paper shape: trip distances follow a power-law-like heavy-tailed
+distribution, mirroring the travel-time marginal of Fig. 3.
+"""
+
+import pytest
+
+from repro.analysis import format_metric_dict
+from repro.experiments import run_distribution_experiment
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_travel_distance_distribution(benchmark, hitchhiking_config, save_table):
+    result = benchmark.pedantic(
+        run_distribution_experiment, args=(hitchhiking_config,), rounds=1, iterations=1
+    )
+    summary = result.travel_distance
+    save_table(
+        "fig4_travel_distance",
+        "Fig. 4 - travel distance distribution (km)\n" + format_metric_dict(summary.as_dict()),
+    )
+    benchmark.extra_info["median_km"] = summary.median
+    benchmark.extra_info["p99_km"] = summary.p99
+    benchmark.extra_info["tail_exponent"] = summary.tail_exponent
+
+    assert summary.median < summary.mean
+    assert summary.heaviness > 3.0
+    assert 1.5 <= summary.tail_exponent <= 4.0
+    # Median city trip sits between 1 and 8 km.
+    assert 1.0 <= summary.median <= 8.0

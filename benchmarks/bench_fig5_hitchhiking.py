@@ -1,0 +1,38 @@
+"""Figure 5 (left) — performance ratio vs. driver count, hitchhiking model.
+
+Paper shape: all three algorithms stay within a small factor of the LP
+relaxation upper bound Z*_f; the offline Greedy achieves the best (lowest)
+ratio, the online maxMargin heuristic is second and Nearest is worst.
+"""
+
+import pytest
+
+from repro.analysis import BoundKind
+from repro.experiments import GREEDY, MAX_MARGIN, NEAREST, run_fig5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_performance_ratio_hitchhiking(benchmark, hitchhiking_workload, save_table):
+    result = benchmark.pedantic(
+        run_fig5,
+        kwargs={"workload": hitchhiking_workload, "bound_kind": BoundKind.LP_RELAXATION},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig5_hitchhiking", result.render())
+    for name in (GREEDY, MAX_MARGIN, NEAREST):
+        benchmark.extra_info[f"mean_ratio_{name}"] = float(
+            sum(result.ratio_series(name)) / len(result.points)
+        )
+
+    # Every achieved profit respects the upper bound.
+    for name in (GREEDY, MAX_MARGIN, NEAREST):
+        assert all(r >= 1.0 - 1e-6 for r in result.ratio_series(name))
+
+    # Who-wins shape: greedy is the best algorithm on average, nearest the worst.
+    assert result.mean_efficiency(GREEDY) >= result.mean_efficiency(MAX_MARGIN) - 0.03
+    assert result.mean_efficiency(MAX_MARGIN) >= result.mean_efficiency(NEAREST) - 0.02
+
+    # Magnitude: the greedy ratio stays modest (the paper reports ratios well
+    # under 2 across the sweep).
+    assert max(result.ratio_series(GREEDY)) < 2.0

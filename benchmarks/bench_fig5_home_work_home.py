@@ -1,0 +1,33 @@
+"""Figure 5 (right) — performance ratio vs. driver count, home-work-home model.
+
+Paper shape: same algorithm ordering as the hitchhiking plot (Greedy best,
+then maxMargin, then Nearest), with ratios generally no better than in the
+hitchhiking model.
+"""
+
+import pytest
+
+from repro.analysis import BoundKind
+from repro.experiments import GREEDY, MAX_MARGIN, NEAREST, run_fig5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_performance_ratio_home_work_home(benchmark, home_work_home_workload, save_table):
+    result = benchmark.pedantic(
+        run_fig5,
+        kwargs={"workload": home_work_home_workload, "bound_kind": BoundKind.LP_RELAXATION},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig5_home_work_home", result.render())
+    for name in (GREEDY, MAX_MARGIN, NEAREST):
+        benchmark.extra_info[f"mean_ratio_{name}"] = float(
+            sum(result.ratio_series(name)) / len(result.points)
+        )
+
+    for name in (GREEDY, MAX_MARGIN, NEAREST):
+        assert all(r >= 1.0 - 1e-6 for r in result.ratio_series(name))
+
+    assert result.mean_efficiency(GREEDY) >= result.mean_efficiency(MAX_MARGIN) - 0.03
+    assert result.mean_efficiency(GREEDY) >= result.mean_efficiency(NEAREST) - 0.02
+    assert max(result.ratio_series(GREEDY)) < 2.0

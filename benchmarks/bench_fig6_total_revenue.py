@@ -1,0 +1,27 @@
+"""Figure 6 — total market revenue vs. number of drivers.
+
+Paper shape: as the number of drivers increases the market becomes denser,
+more tasks are served and the total revenue generated in the market grows,
+for every algorithm.
+"""
+
+import pytest
+
+from repro.experiments import ALGORITHM_NAMES, run_market_insight_sweep
+
+
+@pytest.mark.benchmark(group="fig6-9")
+def test_fig6_total_revenue(benchmark, hitchhiking_workload, save_table):
+    result = benchmark.pedantic(
+        run_market_insight_sweep, kwargs={"workload": hitchhiking_workload}, rounds=1, iterations=1
+    )
+    save_table("fig6_total_revenue", result.render("total_revenue"))
+
+    for name in ALGORITHM_NAMES:
+        series = result.series(name, "total_revenue")
+        benchmark.extra_info[f"revenue_{name}_max_drivers"] = series.values[-1]
+        # Revenue grows with market density.
+        assert series.trend() > 0.0
+        assert series.values[-1] >= series.values[0]
+        # Adjacent points never collapse to zero once the market is non-trivial.
+        assert all(v >= 0.0 for v in series.values)

@@ -1,0 +1,28 @@
+"""Figure 7 — probability that a pending order is served vs. number of drivers.
+
+Paper shape: the serve rate increases as more drivers enter the market, for
+every algorithm, and the offline Greedy serves at least as large a fraction
+as the myopic Nearest heuristic.
+"""
+
+import pytest
+
+from repro.experiments import ALGORITHM_NAMES, GREEDY, NEAREST, run_market_insight_sweep
+
+
+@pytest.mark.benchmark(group="fig6-9")
+def test_fig7_serve_rate(benchmark, hitchhiking_workload, save_table):
+    result = benchmark.pedantic(
+        run_market_insight_sweep, kwargs={"workload": hitchhiking_workload}, rounds=1, iterations=1
+    )
+    save_table("fig7_serve_rate", result.render("serve_rate"))
+
+    for name in ALGORITHM_NAMES:
+        series = result.series(name, "serve_rate")
+        benchmark.extra_info[f"serve_rate_{name}_max_drivers"] = series.values[-1]
+        assert series.trend() > 0.0
+        assert all(0.0 <= v <= 1.0 for v in series.values)
+
+    greedy = result.series(GREEDY, "serve_rate").values
+    nearest = result.series(NEAREST, "serve_rate").values
+    assert sum(greedy) >= sum(nearest) - 1e-9

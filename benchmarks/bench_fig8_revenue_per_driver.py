@@ -1,0 +1,26 @@
+"""Figure 8 — average revenue per driver vs. number of drivers.
+
+Paper shape: as the market gets denser the competition between drivers grows
+and the average payoff received by each driver declines (market congestion).
+"""
+
+import pytest
+
+from repro.experiments import ALGORITHM_NAMES, run_market_insight_sweep
+
+
+@pytest.mark.benchmark(group="fig6-9")
+def test_fig8_revenue_per_driver(benchmark, hitchhiking_workload, save_table):
+    result = benchmark.pedantic(
+        run_market_insight_sweep, kwargs={"workload": hitchhiking_workload}, rounds=1, iterations=1
+    )
+    save_table("fig8_revenue_per_driver", result.render("revenue_per_driver"))
+
+    for name in ALGORITHM_NAMES:
+        series = result.series(name, "revenue_per_driver")
+        benchmark.extra_info[f"revenue_per_driver_{name}_max_drivers"] = series.values[-1]
+        # Congestion: per-driver revenue declines from the sparsest to the
+        # densest market.
+        assert series.trend() < 0.0
+        assert series.values[-1] < series.values[0]
+        assert all(v >= 0.0 for v in series.values)

@@ -1,0 +1,24 @@
+"""Figure 9 — average number of tasks served per driver vs. number of drivers.
+
+Paper shape: mirrors Fig. 8 — as the number of drivers increases, the average
+number of tasks served by each driver decreases.
+"""
+
+import pytest
+
+from repro.experiments import ALGORITHM_NAMES, run_market_insight_sweep
+
+
+@pytest.mark.benchmark(group="fig6-9")
+def test_fig9_tasks_per_driver(benchmark, hitchhiking_workload, save_table):
+    result = benchmark.pedantic(
+        run_market_insight_sweep, kwargs={"workload": hitchhiking_workload}, rounds=1, iterations=1
+    )
+    save_table("fig9_tasks_per_driver", result.render("tasks_per_driver"))
+
+    for name in ALGORITHM_NAMES:
+        series = result.series(name, "tasks_per_driver")
+        benchmark.extra_info[f"tasks_per_driver_{name}_max_drivers"] = series.values[-1]
+        assert series.trend() < 0.0
+        assert series.values[-1] < series.values[0]
+        assert all(v >= 0.0 for v in series.values)

@@ -1,0 +1,56 @@
+"""Theorem 1 / Figure 2 — tightness of the 1/(D+1) approximation ratio.
+
+The paper constructs an adversarial instance on which the greedy algorithm
+achieves exactly 1/((D+1)(1-eps)) of the optimum.  This benchmark builds the
+geometric realisation of that construction for several chain lengths D and
+reports greedy, optimum, the achieved ratio and the theoretical bound —
+the achieved ratio must approach the bound from above as D grows.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.offline import build_tight_example, exact_optimum, greedy_assignment
+
+CHAIN_LENGTHS = (2, 4, 6, 8)
+EPSILON = 0.03
+
+
+def run_tightness_sweep():
+    rows = []
+    for depth in CHAIN_LENGTHS:
+        example = build_tight_example(chain_length=depth, epsilon=EPSILON)
+        greedy = greedy_assignment(example.instance).total_value
+        optimum = exact_optimum(example.instance).optimum
+        rows.append(
+            {
+                "D": depth,
+                "greedy": greedy,
+                "optimum": optimum,
+                "achieved_ratio": greedy / optimum,
+                "bound": example.theoretical_bound,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="theory")
+def test_theorem1_tightness(benchmark, save_table):
+    rows = benchmark.pedantic(run_tightness_sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["D", "greedy", "optimum", "achieved_ratio", "1/(D+1)"],
+        [[r["D"], r["greedy"], r["optimum"], r["achieved_ratio"], r["bound"]] for r in rows],
+    )
+    save_table("theorem1_tightness", "Theorem 1 tightness (Fig. 2 construction)\n" + table)
+
+    for row in rows:
+        benchmark.extra_info[f"ratio_D{row['D']}"] = row["achieved_ratio"]
+        # Theorem 1 lower bound always holds...
+        assert row["achieved_ratio"] >= row["bound"] - 1e-9
+        # ...and the adversarial construction pins greedy close to it.
+        assert row["achieved_ratio"] <= row["bound"] + 0.12
+
+    # The achieved ratio degrades as the chain length grows (the bound is
+    # asymptotically tight).
+    ratios = [r["achieved_ratio"] for r in rows]
+    assert all(later < earlier for earlier, later in zip(ratios, ratios[1:]))

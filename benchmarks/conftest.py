@@ -1,0 +1,86 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation.
+The default benchmark scale is reduced from the paper's (150 tasks instead of
+1000, up to 45 drivers instead of 300 — the same 3%-30% driver/task density
+band) so that the full harness completes in a few minutes on a laptop;
+set ``REPRO_BENCH_SCALE=paper`` in the environment to run the paper's scale.
+
+Each benchmark prints its series and also writes it to
+``benchmarks/results/<name>.txt`` so the regenerated rows survive output
+capturing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    DEFAULT_SCALE,
+    PAPER_SCALE,
+    ExperimentConfig,
+    ExperimentScale,
+    Workload,
+    build_workload,
+)
+from repro.trace import WorkingModel
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Reduced sweep used by default for the figure benchmarks.
+BENCH_SCALE = ExperimentScale(
+    task_count=150,
+    driver_counts=(5, 15, 30, 45),
+    trips_generated=1500,
+)
+
+
+def selected_scale() -> ExperimentScale:
+    """The benchmark scale, switchable to the paper's via the environment."""
+    choice = os.environ.get("REPRO_BENCH_SCALE", "bench").lower()
+    if choice == "paper":
+        return PAPER_SCALE
+    if choice == "default":
+        return DEFAULT_SCALE
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return selected_scale()
+
+
+@pytest.fixture(scope="session")
+def hitchhiking_config(bench_scale) -> ExperimentConfig:
+    return ExperimentConfig(scale=bench_scale, working_model=WorkingModel.HITCHHIKING)
+
+
+@pytest.fixture(scope="session")
+def home_work_home_config(bench_scale) -> ExperimentConfig:
+    return ExperimentConfig(scale=bench_scale, working_model=WorkingModel.HOME_WORK_HOME)
+
+
+@pytest.fixture(scope="session")
+def hitchhiking_workload(hitchhiking_config) -> Workload:
+    return build_workload(hitchhiking_config)
+
+
+@pytest.fixture(scope="session")
+def home_work_home_workload(home_work_home_config) -> Workload:
+    return build_workload(home_work_home_config)
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Persist (and echo) a rendered table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n[{name}]\n{text}\n")
+
+    return _save

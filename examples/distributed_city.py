@@ -1,0 +1,85 @@
+"""Distributed solving of a city-scale market.
+
+The paper argues the matching problem must be partitioned at city scale to be
+tractable — but not much further, because riders and drivers cross district
+boundaries.  This example makes that trade-off concrete:
+
+1. build one day of the Porto market;
+2. solve it centrally with the greedy algorithm;
+3. shard it into 2x2 and 4x4 district grids, solve every shard independently
+   on a thread pool via the :class:`DistributedCoordinator`, and merge;
+4. report how much objective value each sharding retains and how the
+   per-shard work shrinks.
+
+Run with::
+
+    python examples/distributed_city.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    DistributedCoordinator,
+    PORTO,
+    SpatialPartitioner,
+    generate_drivers,
+    generate_trace,
+    greedy_assignment,
+    market_from_trace,
+)
+from repro.analysis import format_table
+
+
+def main() -> None:
+    trips = generate_trace(trip_count=400, seed=41)
+    drivers = generate_drivers(count=80, seed=42)
+    market = market_from_trace(trips, drivers)
+    print(f"City market: {market.task_count} tasks, {market.driver_count} drivers")
+
+    start = time.perf_counter()
+    central = greedy_assignment(market)
+    central_time = time.perf_counter() - start
+    print(f"Central greedy: profit {central.total_value:.2f} in {central_time:.2f}s")
+
+    rows = [["central (1 shard)", 1, central.total_value, 1.0, central_time, central.served_count]]
+    for grid in ((2, 2), (4, 4)):
+        coordinator = DistributedCoordinator(
+            SpatialPartitioner(PORTO, *grid), solver_name="greedy", parallel=True
+        )
+        start = time.perf_counter()
+        result = coordinator.solve(market)
+        elapsed = time.perf_counter() - start
+        result.solution.validate()
+        rows.append(
+            [
+                f"{grid[0]}x{grid[1]} districts",
+                result.report.shard_count,
+                result.solution.total_value,
+                result.solution.total_value / central.total_value,
+                elapsed,
+                result.solution.served_count,
+            ]
+        )
+        busiest = max(result.plan.shards, key=lambda s: s.task_count)
+        print(
+            f"  {grid[0]}x{grid[1]}: slowest shard {result.report.slowest_shard_s * 1000:.0f} ms, "
+            f"busiest district has {busiest.task_count} tasks / {busiest.driver_count} drivers"
+        )
+
+    print()
+    print(
+        format_table(
+            ["deployment", "shards", "profit", "retention", "wall clock (s)", "served"], rows
+        )
+    )
+    print(
+        "\nFiner grids cut per-shard work but lose the cross-district trips the paper "
+        "warns about: district-level sharding trades a few percent of profit for an "
+        "embarrassingly parallel solve."
+    )
+
+
+if __name__ == "__main__":
+    main()

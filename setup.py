@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured in ``pyproject.toml``; this file exists so that
+``python setup.py develop`` works in fully offline environments where pip
+cannot build an editable wheel (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,226 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script (also reachable as
+``python -m repro``).  Sub-commands cover the everyday workflow:
+
+``generate-trace``
+    Write a synthetic Porto-like day of trips as a Porto-format CSV.
+``build-market``
+    Generate trips + drivers, price them, and save the market instance as JSON.
+``solve``
+    Load a market JSON and solve it with one of the algorithms (greedy,
+    maxMargin, nearest, batched, exact), optionally saving the solution.
+``bound``
+    Compute an upper bound (LP relaxation, Lagrangian or exact) for a market.
+``info``
+    Print the structural summary of a market (sizes, arcs, diameter).
+``experiment``
+    Re-run the paper's experiments (fig3-4, fig5, fig6-9, ablations or all).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import BoundKind, compute_upper_bound, format_metric_dict, format_table
+from .experiments import (
+    DEFAULT_SCALE,
+    PAPER_SCALE,
+    TINY_SCALE,
+    ExperimentConfig,
+    run_distribution_experiment,
+    run_everything,
+    run_fig5,
+    run_market_insight_sweep,
+    run_partition_ablation,
+    run_surge_ablation,
+)
+from .io import load_instance, save_instance, save_solution
+from .market import graph_summary, market_from_trace
+from .offline import exact_optimum, greedy_assignment
+from .online import BatchedSimulator, MaxMarginDispatcher, NearestDispatcher, OnlineSimulator
+from .pricing import FareSchedule, LinearPricing
+from .trace import WorkingModel, generate_drivers, generate_trace, write_porto_csv
+
+_SCALES = {"tiny": TINY_SCALE, "default": DEFAULT_SCALE, "paper": PAPER_SCALE}
+_BOUNDS = {
+    "lp": BoundKind.LP_RELAXATION,
+    "lagrangian": BoundKind.LAGRANGIAN,
+    "exact": BoundKind.EXACT,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimization framework for online ride-sharing markets (ICDCS 2017 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    trace = subparsers.add_parser("generate-trace", help="write a synthetic day of trips as CSV")
+    trace.add_argument("--trips", type=int, default=1000, help="number of trips to generate")
+    trace.add_argument("--seed", type=int, default=2017)
+    trace.add_argument("--output", required=True, help="output CSV path (Porto format)")
+
+    market = subparsers.add_parser("build-market", help="build and save a market instance")
+    market.add_argument("--trips", type=int, default=250)
+    market.add_argument("--drivers", type=int, default=50)
+    market.add_argument("--seed", type=int, default=2017)
+    market.add_argument(
+        "--working-model",
+        choices=[m.value for m in WorkingModel],
+        default=WorkingModel.HITCHHIKING.value,
+    )
+    market.add_argument("--surge", type=float, default=1.2, help="static surge multiplier")
+    market.add_argument("--output", required=True, help="output JSON path")
+
+    solve = subparsers.add_parser("solve", help="solve a saved market instance")
+    solve.add_argument("--market", required=True, help="market JSON produced by build-market")
+    solve.add_argument(
+        "--algorithm",
+        choices=["greedy", "maxMargin", "nearest", "batched", "exact"],
+        default="greedy",
+    )
+    solve.add_argument("--batch-window", type=float, default=60.0, help="batched: window in seconds")
+    solve.add_argument("--output", help="optional path to save the solution JSON")
+
+    bound = subparsers.add_parser("bound", help="compute an upper bound for a market")
+    bound.add_argument("--market", required=True)
+    bound.add_argument("--kind", choices=sorted(_BOUNDS), default="lp")
+
+    info = subparsers.add_parser("info", help="print the structural summary of a market")
+    info.add_argument("--market", required=True)
+
+    experiment = subparsers.add_parser("experiment", help="re-run the paper's experiments")
+    experiment.add_argument(
+        "--figure",
+        choices=["fig3-4", "fig5", "fig6-9", "ablations", "all"],
+        default="all",
+    )
+    experiment.add_argument("--scale", choices=sorted(_SCALES), default="default")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# sub-command implementations
+# ----------------------------------------------------------------------
+def _cmd_generate_trace(args: argparse.Namespace) -> int:
+    trips = generate_trace(trip_count=args.trips, seed=args.seed)
+    count = write_porto_csv(trips, args.output)
+    print(f"wrote {count} trips to {args.output}")
+    return 0
+
+
+def _cmd_build_market(args: argparse.Namespace) -> int:
+    trips = generate_trace(trip_count=args.trips, seed=args.seed)
+    drivers = generate_drivers(
+        count=args.drivers,
+        working_model=WorkingModel(args.working_model),
+        seed=args.seed + 1,
+    )
+    pricing = LinearPricing(schedule=FareSchedule(), alpha=args.surge)
+    instance = market_from_trace(trips, drivers, pricing=pricing)
+    save_instance(instance, args.output)
+    print(
+        f"saved market with {instance.task_count} tasks and {instance.driver_count} drivers "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = load_instance(args.market)
+    if args.algorithm == "greedy":
+        result = greedy_assignment(instance)
+        summary = result.summary()
+    elif args.algorithm == "exact":
+        result = exact_optimum(instance).solution
+        summary = result.summary()
+    elif args.algorithm == "batched":
+        from .online.batch import BatchConfig
+
+        outcome = BatchedSimulator(instance, BatchConfig(window_s=args.batch_window)).run()
+        result, summary = outcome, outcome.summary()
+    else:
+        dispatcher = MaxMarginDispatcher() if args.algorithm == "maxMargin" else NearestDispatcher()
+        outcome = OnlineSimulator(instance, dispatcher).run()
+        result, summary = outcome, outcome.summary()
+
+    print(f"algorithm: {args.algorithm}")
+    print(format_metric_dict(summary))
+    if args.output:
+        if hasattr(result, "plans"):
+            save_solution(result, args.output, algorithm=args.algorithm)
+        else:
+            from .io import outcome_to_dict
+            import json
+
+            from pathlib import Path
+
+            Path(args.output).write_text(
+                json.dumps(outcome_to_dict(result), indent=2), encoding="utf-8"
+            )
+        print(f"solution written to {args.output}")
+    return 0
+
+
+def _cmd_bound(args: argparse.Namespace) -> int:
+    instance = load_instance(args.market)
+    value = compute_upper_bound(instance, _BOUNDS[args.kind])
+    print(f"{args.kind} upper bound: {value:.4f}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    instance = load_instance(args.market)
+    print(format_metric_dict(graph_summary(instance)))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    scale = _SCALES[args.scale]
+    config = ExperimentConfig(scale=scale)
+    if args.figure == "all":
+        print(run_everything(scale=scale).render())
+        return 0
+    if args.figure == "fig3-4":
+        print(run_distribution_experiment(config).render())
+        return 0
+    if args.figure == "fig5":
+        print(run_fig5(config=config).render())
+        return 0
+    if args.figure == "fig6-9":
+        print(run_market_insight_sweep(config=config).render_all())
+        return 0
+    if args.figure == "ablations":
+        print(run_surge_ablation(config=config).render())
+        print()
+        print(run_partition_ablation(config=config).render())
+        return 0
+    raise AssertionError(f"unhandled figure choice {args.figure!r}")
+
+
+_COMMANDS = {
+    "generate-trace": _cmd_generate_trace,
+    "build-market": _cmd_build_market,
+    "solve": _cmd_solve,
+    "bound": _cmd_bound,
+    "info": _cmd_info,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Core of the framework: objectives, solutions and their validation."""
+
+from .objectives import (
+    Objective,
+    assignment_value,
+    consumer_surplus,
+    path_value,
+    total_revenue,
+)
+from .solution import DriverPlan, InfeasibleSolutionError, MarketSolution
+
+__all__ = [
+    "Objective",
+    "path_value",
+    "assignment_value",
+    "total_revenue",
+    "consumer_surplus",
+    "DriverPlan",
+    "MarketSolution",
+    "InfeasibleSolutionError",
+]

@@ -1,0 +1,221 @@
+"""Solution representation and feasibility validation.
+
+A :class:`MarketSolution` records which task list (path in her task map) each
+driver was assigned, regardless of which algorithm produced it — the offline
+greedy, the exact solver or the online heuristics all return this type, which
+is what makes head-to-head evaluation straightforward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..market.instance import MarketInstance
+from .objectives import Objective, assignment_value, consumer_surplus, total_revenue
+
+
+class InfeasibleSolutionError(ValueError):
+    """Raised by :meth:`MarketSolution.validate` when a solution violates the
+    constraints of the optimisation problem (Eqs. 5a-5h)."""
+
+
+@dataclass(frozen=True, slots=True)
+class DriverPlan:
+    """One driver's assigned task list and its objective contribution."""
+
+    driver_id: str
+    task_indices: Tuple[int, ...]
+    profit: float
+
+    @property
+    def task_count(self) -> int:
+        return len(self.task_indices)
+
+
+@dataclass(frozen=True)
+class MarketSolution:
+    """An assignment of node-disjoint task lists to drivers."""
+
+    instance: MarketInstance
+    plans: Tuple[DriverPlan, ...]
+    objective: Objective = Objective.DRIVERS_PROFIT
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_assignment(
+        cls,
+        instance: MarketInstance,
+        assignment: Mapping[str, Sequence[int]],
+        objective: Objective = Objective.DRIVERS_PROFIT,
+    ) -> "MarketSolution":
+        """Build a solution from a ``driver_id -> task index list`` mapping,
+        computing each driver's profit from her task map.
+
+        Construction is lenient: a task list that is not a feasible path in
+        the driver's task map is stored with a profit of 0 and flagged later
+        by :meth:`validate`, so callers can always build a solution object
+        first and decide how to handle infeasibility afterwards.
+        """
+        plans: List[DriverPlan] = []
+        for driver in instance.drivers:
+            path = tuple(assignment.get(driver.driver_id, ()))
+            task_map = instance.task_map(driver.driver_id)
+            if task_map.is_feasible_path(path):
+                profit = task_map.path_profit(path, use_valuation=objective.uses_valuation)
+            else:
+                profit = 0.0
+            plans.append(DriverPlan(driver.driver_id, path, profit))
+        return cls(instance=instance, plans=tuple(plans), objective=objective)
+
+    @classmethod
+    def empty(
+        cls, instance: MarketInstance, objective: Objective = Objective.DRIVERS_PROFIT
+    ) -> "MarketSolution":
+        """The all-drivers-idle solution (objective value 0)."""
+        return cls.from_assignment(instance, {}, objective)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def plan_for(self, driver_id: str) -> DriverPlan:
+        for plan in self.plans:
+            if plan.driver_id == driver_id:
+                return plan
+        raise KeyError(f"no plan for driver {driver_id!r}")
+
+    def assignment(self) -> Dict[str, Tuple[int, ...]]:
+        """The underlying ``driver_id -> task indices`` mapping (non-empty plans)."""
+        return {p.driver_id: p.task_indices for p in self.plans if p.task_indices}
+
+    def served_tasks(self) -> Set[int]:
+        """Indices of all tasks served by some driver."""
+        served: Set[int] = set()
+        for plan in self.plans:
+            served.update(plan.task_indices)
+        return served
+
+    def iter_nonempty_plans(self) -> Iterator[DriverPlan]:
+        for plan in self.plans:
+            if plan.task_indices:
+                yield plan
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    @property
+    def total_value(self) -> float:
+        """The objective value (drivers' total profit, or social welfare)."""
+        return sum(plan.profit for plan in self.plans)
+
+    @property
+    def served_count(self) -> int:
+        return len(self.served_tasks())
+
+    @property
+    def serve_rate(self) -> float:
+        """Fraction of tasks served (Fig. 7).  1.0 for an empty task set."""
+        if self.instance.task_count == 0:
+            return 1.0
+        return self.served_count / self.instance.task_count
+
+    @property
+    def total_revenue(self) -> float:
+        """Total payoff of served tasks (Fig. 6)."""
+        return total_revenue(self.instance, self.assignment())
+
+    @property
+    def consumer_surplus(self) -> float:
+        return consumer_surplus(self.instance, self.assignment())
+
+    @property
+    def active_driver_count(self) -> int:
+        """Drivers with at least one task."""
+        return sum(1 for _ in self.iter_nonempty_plans())
+
+    def revenue_per_driver(self) -> float:
+        """Average revenue per driver in the fleet (Fig. 8).
+
+        The denominator is the fleet size (not just active drivers), matching
+        the congestion story of the paper: adding drivers dilutes everyone's
+        income.
+        """
+        if self.instance.driver_count == 0:
+            return 0.0
+        return self.total_revenue / self.instance.driver_count
+
+    def tasks_per_driver(self) -> float:
+        """Average number of tasks served per driver in the fleet (Fig. 9)."""
+        if self.instance.driver_count == 0:
+            return 0.0
+        return self.served_count / self.instance.driver_count
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check every constraint of the optimisation problem.
+
+        * each driver's task list is a feasible path in her task map
+          (flow-conservation constraints 5c-5f);
+        * no task is served by more than one driver (constraint 5a);
+        * every driver's profit is non-negative (individual rationality, 5b);
+        * every served task is publishable (customer rationality, 7a).
+
+        Raises
+        ------
+        InfeasibleSolutionError
+            With a message naming the violated constraint.
+        """
+        known_drivers = {d.driver_id for d in self.instance.drivers}
+        seen: Dict[int, str] = {}
+        for plan in self.plans:
+            if plan.driver_id not in known_drivers:
+                raise InfeasibleSolutionError(f"unknown driver {plan.driver_id!r}")
+            task_map = self.instance.task_map(plan.driver_id)
+            if not task_map.is_feasible_path(plan.task_indices):
+                raise InfeasibleSolutionError(
+                    f"driver {plan.driver_id!r}: task list {plan.task_indices} is not a "
+                    "feasible path in her task map"
+                )
+            for m in plan.task_indices:
+                if m in seen:
+                    raise InfeasibleSolutionError(
+                        f"task {m} assigned to both {seen[m]!r} and {plan.driver_id!r}"
+                    )
+                seen[m] = plan.driver_id
+                if not self.instance.tasks[m].is_publishable:
+                    raise InfeasibleSolutionError(
+                        f"task {m} is not publishable (price exceeds customer valuation)"
+                    )
+            if plan.task_indices and plan.profit < -1e-6:
+                raise InfeasibleSolutionError(
+                    f"driver {plan.driver_id!r} has negative profit {plan.profit:.4f} "
+                    "(individual rationality violated)"
+                )
+
+    def is_feasible(self) -> bool:
+        """``True`` when :meth:`validate` passes."""
+        try:
+            self.validate()
+        except InfeasibleSolutionError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """A flat metric dictionary for reports and benchmarks."""
+        return {
+            "total_value": self.total_value,
+            "total_revenue": self.total_revenue,
+            "served_count": float(self.served_count),
+            "serve_rate": self.serve_rate,
+            "revenue_per_driver": self.revenue_per_driver(),
+            "tasks_per_driver": self.tasks_per_driver(),
+            "active_drivers": float(self.active_driver_count),
+            "consumer_surplus": self.consumer_surplus,
+        }

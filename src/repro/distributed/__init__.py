@@ -1,0 +1,32 @@
+"""Distributed (sharded) solving of city-scale markets."""
+
+from .coordinator import (
+    SOLVER_NAMES,
+    DistributedCoordinator,
+    DistributedResult,
+    solve_shard,
+)
+from .messages import CoordinatorReport, ShardWorkRequest, ShardWorkResult, Stopwatch
+from .partition import (
+    MarketShard,
+    PartitionPlan,
+    ShardSpec,
+    SpatialPartitioner,
+    translate_assignment,
+)
+
+__all__ = [
+    "SpatialPartitioner",
+    "PartitionPlan",
+    "MarketShard",
+    "ShardSpec",
+    "translate_assignment",
+    "ShardWorkRequest",
+    "ShardWorkResult",
+    "CoordinatorReport",
+    "Stopwatch",
+    "DistributedCoordinator",
+    "DistributedResult",
+    "solve_shard",
+    "SOLVER_NAMES",
+]

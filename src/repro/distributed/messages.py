@@ -1,0 +1,81 @@
+"""Message types exchanged between the coordinator and shard workers.
+
+The distributed mode in this library is simulated in-process, but the
+coordinator/worker boundary is kept explicit: workers only ever see a
+:class:`ShardWorkRequest` and answer with a :class:`ShardWorkResult`, both of
+which are plain serialisable records.  This keeps the solve path honest about
+what information actually crosses the wire in a real deployment (each city /
+district solver needs only its own drivers and tasks, never the global
+instance).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class ShardWorkRequest:
+    """Ask one worker to solve one shard."""
+
+    shard_id: int
+    driver_count: int
+    task_count: int
+    #: Which solver the worker should run ("greedy", "nearest", "maxMargin").
+    solver_name: str
+
+
+@dataclass(frozen=True, slots=True)
+class ShardWorkResult:
+    """A worker's answer: the shard-local assignment and its value."""
+
+    shard_id: int
+    solver_name: str
+    #: driver id -> shard-local task indices.
+    assignment: Dict[str, Tuple[int, ...]]
+    #: driver id -> profit of that driver's shard-local plan.
+    driver_profits: Dict[str, float]
+    total_value: float
+    served_count: int
+    elapsed_s: float
+
+
+@dataclass(frozen=True, slots=True)
+class CoordinatorReport:
+    """Summary the coordinator produces after merging every shard result."""
+
+    shard_count: int
+    total_value: float
+    served_count: int
+    wall_clock_s: float
+    slowest_shard_s: float
+    per_shard_values: Tuple[float, ...]
+
+    @property
+    def critical_path_speedup(self) -> float:
+        """Idealised speed-up if shards ran fully in parallel: total worker
+        time divided by the slowest shard's time."""
+        total_worker_time = sum(self.per_shard_durations) if self.per_shard_durations else 0.0
+        if self.slowest_shard_s <= 0:
+            return 1.0
+        return total_worker_time / self.slowest_shard_s
+
+    #: Populated by the coordinator; kept separate from values for clarity.
+    per_shard_durations: Tuple[float, ...] = ()
+
+
+class Stopwatch:
+    """A tiny context-manager stopwatch used by workers and the coordinator."""
+
+    def __init__(self) -> None:
+        self.elapsed_s = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.elapsed_s = time.perf_counter() - self._start

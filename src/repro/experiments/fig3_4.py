@@ -1,0 +1,54 @@
+"""Figures 3 and 4 — travel-time and travel-distance distributions.
+
+The paper plots the marginals of the (cleaned) Porto trace and notes that
+both follow a power-law-like heavy-tailed shape.  This experiment generates
+the synthetic trace through the same cleaning pipeline and summarises both
+marginals, which is what the Fig. 3 / Fig. 4 benchmarks assert on and print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..analysis.distributions import (
+    DistributionSummary,
+    travel_distance_summary,
+    travel_time_summary,
+)
+from ..analysis.reporting import format_metric_dict
+from .config import ExperimentConfig, build_day_trips
+
+
+@dataclass(frozen=True)
+class DistributionExperimentResult:
+    """The two summaries, plus the trip count they were computed from."""
+
+    travel_time: DistributionSummary
+    travel_distance: DistributionSummary
+    trip_count: int
+
+    def render(self) -> str:
+        lines = [
+            f"trips analysed: {self.trip_count}",
+            "",
+            "Fig. 3 - travel time (minutes)",
+            format_metric_dict(self.travel_time.as_dict()),
+            "",
+            "Fig. 4 - travel distance (km)",
+            format_metric_dict(self.travel_distance.as_dict()),
+        ]
+        return "\n".join(lines)
+
+
+def run_distribution_experiment(
+    config: Optional[ExperimentConfig] = None,
+) -> DistributionExperimentResult:
+    """Run the Fig. 3 / Fig. 4 analysis on the synthetic day trace."""
+    cfg = config or ExperimentConfig()
+    trips = build_day_trips(cfg)
+    return DistributionExperimentResult(
+        travel_time=travel_time_summary(trips),
+        travel_distance=travel_distance_summary(trips),
+        trip_count=len(trips),
+    )

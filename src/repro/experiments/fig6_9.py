@@ -1,0 +1,96 @@
+"""Figures 6-9 — market-density insights.
+
+The paper sweeps the driver count on the "hitchhiking" workload and plots,
+for each algorithm:
+
+* Fig. 6 — total revenue generated in the market (grows with density);
+* Fig. 7 — probability that a pending order is served (grows with density);
+* Fig. 8 — average revenue per driver (declines: congestion);
+* Fig. 9 — average tasks served per driver (declines: congestion).
+
+One sweep produces all four figures; the per-figure benchmarks just select a
+different metric column from the same result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.metrics import MarketMetrics, SweepSeries, series_from_metrics
+from ..analysis.reporting import format_series_table
+from ..trace.drivers import WorkingModel
+from .algorithms import ALGORITHM_NAMES, standard_algorithms
+from .config import ExperimentConfig, ExperimentScale, Workload, build_workload
+
+#: metric column -> figure number in the paper.
+FIGURE_METRICS: Dict[str, str] = {
+    "total_revenue": "Fig. 6",
+    "serve_rate": "Fig. 7",
+    "revenue_per_driver": "Fig. 8",
+    "tasks_per_driver": "Fig. 9",
+}
+
+
+@dataclass(frozen=True)
+class MarketInsightResult:
+    """All measurements of the Figs. 6-9 sweep."""
+
+    working_model: WorkingModel
+    driver_counts: Tuple[int, ...]
+    measurements: Tuple[MarketMetrics, ...]
+
+    def series(self, algorithm: str, metric: str) -> SweepSeries:
+        return series_from_metrics(list(self.measurements), algorithm, metric)
+
+    def figure_series(self, metric: str) -> Dict[str, Tuple[float, ...]]:
+        """One curve per algorithm for a given metric column."""
+        return {
+            name: self.series(name, metric).values for name in ALGORITHM_NAMES
+        }
+
+    def render(self, metric: str) -> str:
+        figure = FIGURE_METRICS.get(metric, metric)
+        table = format_series_table(
+            "drivers", list(self.driver_counts), self.figure_series(metric)
+        )
+        return f"{figure} - {metric} vs. number of drivers ({self.working_model.value})\n{table}"
+
+    def render_all(self) -> str:
+        return "\n\n".join(self.render(metric) for metric in FIGURE_METRICS)
+
+
+def run_market_insight_sweep(
+    scale: Optional[ExperimentScale] = None,
+    working_model: WorkingModel = WorkingModel.HITCHHIKING,
+    config: Optional[ExperimentConfig] = None,
+    workload: Optional[Workload] = None,
+) -> MarketInsightResult:
+    """Run the Figs. 6-9 driver-count sweep."""
+    if workload is None:
+        cfg = config or ExperimentConfig(
+            scale=scale if scale is not None else ExperimentConfig().scale,
+            working_model=working_model,
+        )
+        workload = build_workload(cfg)
+    else:
+        cfg = workload.config
+
+    measurements: List[MarketMetrics] = []
+    for driver_count in cfg.scale.driver_counts:
+        instance = workload.instance_with_drivers(driver_count)
+        for spec in standard_algorithms():
+            result = spec.run(instance)
+            measurements.append(
+                MarketMetrics.from_solution(
+                    algorithm=spec.name,
+                    driver_count=driver_count,
+                    task_count=instance.task_count,
+                    solution=result,
+                )
+            )
+    return MarketInsightResult(
+        working_model=cfg.working_model,
+        driver_counts=tuple(cfg.scale.driver_counts),
+        measurements=tuple(measurements),
+    )

@@ -1,0 +1,72 @@
+"""One-call runner that regenerates every table and figure of the paper.
+
+``python -m repro.experiments.runner`` (or :func:`run_everything`) executes
+the Fig. 3/4 distribution analysis, both halves of Fig. 5, the Figs. 6-9
+market-insight sweep and the two ablations, printing each as a text table.
+The benchmark harnesses in ``benchmarks/`` call the same experiment modules
+one figure at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..analysis.ratio import BoundKind
+from ..trace.drivers import WorkingModel
+from .ablation import PartitionAblationResult, SurgeAblationResult, run_partition_ablation, run_surge_ablation
+from .config import DEFAULT_SCALE, ExperimentConfig, ExperimentScale
+from .fig3_4 import DistributionExperimentResult, run_distribution_experiment
+from .fig5 import Fig5Result, run_fig5
+from .fig6_9 import MarketInsightResult, run_market_insight_sweep
+
+
+@dataclass(frozen=True)
+class FullRunResult:
+    """Everything the runner produced, ready to render or inspect."""
+
+    distributions: DistributionExperimentResult
+    fig5_hitchhiking: Fig5Result
+    fig5_home_work_home: Fig5Result
+    market_insights: MarketInsightResult
+    surge_ablation: SurgeAblationResult
+    partition_ablation: PartitionAblationResult
+
+    def render(self) -> str:
+        sections = [
+            self.distributions.render(),
+            self.fig5_hitchhiking.render(),
+            self.fig5_home_work_home.render(),
+            self.market_insights.render_all(),
+            self.surge_ablation.render(),
+            self.partition_ablation.render(),
+        ]
+        divider = "\n" + "=" * 72 + "\n"
+        return divider.join(sections)
+
+
+def run_everything(
+    scale: Optional[ExperimentScale] = None,
+    bound_kind: BoundKind = BoundKind.LP_RELAXATION,
+) -> FullRunResult:
+    """Run every experiment at the given scale (default: the reduced scale)."""
+    chosen_scale = scale or DEFAULT_SCALE
+    hitch_cfg = ExperimentConfig(scale=chosen_scale, working_model=WorkingModel.HITCHHIKING)
+    hwh_cfg = ExperimentConfig(scale=chosen_scale, working_model=WorkingModel.HOME_WORK_HOME)
+
+    return FullRunResult(
+        distributions=run_distribution_experiment(hitch_cfg),
+        fig5_hitchhiking=run_fig5(config=hitch_cfg, bound_kind=bound_kind),
+        fig5_home_work_home=run_fig5(config=hwh_cfg, bound_kind=bound_kind),
+        market_insights=run_market_insight_sweep(config=hitch_cfg),
+        surge_ablation=run_surge_ablation(config=hitch_cfg),
+        partition_ablation=run_partition_ablation(config=hitch_cfg),
+    )
+
+
+def main() -> None:
+    print(run_everything().render())
+
+
+if __name__ == "__main__":
+    main()

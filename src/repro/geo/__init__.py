@@ -1,0 +1,45 @@
+"""Geospatial substrate: points, regions, distance/travel models, grid index."""
+
+from .point import (
+    EARTH_RADIUS_KM,
+    GeoPoint,
+    centroid,
+    equirectangular_km,
+    haversine_km,
+    manhattan_km,
+    polyline_length_km,
+)
+from .region import BEIJING, CITY_PRESETS, NYC, PORTO, BoundingBox, city_preset
+from .distance import (
+    DistanceEstimator,
+    EquirectangularEstimator,
+    HaversineEstimator,
+    ManhattanEstimator,
+    TravelModel,
+    default_travel_model,
+)
+from .grid import SpatialGrid, build_grid
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "GeoPoint",
+    "centroid",
+    "equirectangular_km",
+    "haversine_km",
+    "manhattan_km",
+    "polyline_length_km",
+    "BoundingBox",
+    "city_preset",
+    "CITY_PRESETS",
+    "PORTO",
+    "NYC",
+    "BEIJING",
+    "DistanceEstimator",
+    "HaversineEstimator",
+    "EquirectangularEstimator",
+    "ManhattanEstimator",
+    "TravelModel",
+    "default_travel_model",
+    "SpatialGrid",
+    "build_grid",
+]

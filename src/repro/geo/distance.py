@@ -1,0 +1,135 @@
+"""Distance and travel-time estimation.
+
+The optimisation model never sees a road network: the paper estimates the
+empty-drive distance ``d_{n,m,m'}`` and the in-task distance ``d̂_{n,m}`` from
+coordinates, then converts them to travel times ``l`` using an average driver
+speed, and to travel costs ``c`` using a per-kilometre cost (the gasoline
+price).  This module provides pluggable estimators for that pipeline.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from .point import GeoPoint, equirectangular_km, haversine_km, manhattan_km
+
+
+class DistanceEstimator(abc.ABC):
+    """Strategy interface for point-to-point driving-distance estimation."""
+
+    @abc.abstractmethod
+    def distance_km(self, origin: GeoPoint, destination: GeoPoint) -> float:
+        """Estimated driving distance from ``origin`` to ``destination`` in km."""
+
+    def __call__(self, origin: GeoPoint, destination: GeoPoint) -> float:
+        return self.distance_km(origin, destination)
+
+
+@dataclass(frozen=True, slots=True)
+class HaversineEstimator(DistanceEstimator):
+    """Great-circle distance scaled by a road *circuity* factor.
+
+    Empirical studies of urban road networks put the circuity (network
+    distance / straight-line distance) between 1.2 and 1.4; the default of
+    1.3 sits in the middle of that range.
+    """
+
+    circuity: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.circuity < 1.0:
+            raise ValueError("circuity factor must be >= 1.0")
+
+    def distance_km(self, origin: GeoPoint, destination: GeoPoint) -> float:
+        return self.circuity * haversine_km(origin, destination)
+
+
+@dataclass(frozen=True, slots=True)
+class EquirectangularEstimator(DistanceEstimator):
+    """Cheaper flat-projection variant of :class:`HaversineEstimator`."""
+
+    circuity: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.circuity < 1.0:
+            raise ValueError("circuity factor must be >= 1.0")
+
+    def distance_km(self, origin: GeoPoint, destination: GeoPoint) -> float:
+        return self.circuity * equirectangular_km(origin, destination)
+
+
+@dataclass(frozen=True, slots=True)
+class ManhattanEstimator(DistanceEstimator):
+    """L1 (grid-city) driving distance; no extra circuity is applied because
+    the L1 detour already models rectilinear streets."""
+
+    def distance_km(self, origin: GeoPoint, destination: GeoPoint) -> float:
+        return manhattan_km(origin, destination)
+
+
+@dataclass(frozen=True, slots=True)
+class TravelModel:
+    """Converts distances to travel times and monetary costs.
+
+    Parameters
+    ----------
+    estimator:
+        The :class:`DistanceEstimator` used for point-to-point distances.
+    speed_kmh:
+        Average driving speed; the paper estimates travel times by dividing
+        the estimated distance by the driver's average speed.
+    cost_per_km:
+        Driver's marginal cost of driving one kilometre (fuel + wear), used
+        for both empty drives and in-task drives.
+    """
+
+    estimator: DistanceEstimator
+    speed_kmh: float = 30.0
+    cost_per_km: float = 0.12
+
+    def __post_init__(self) -> None:
+        if self.speed_kmh <= 0:
+            raise ValueError("speed_kmh must be positive")
+        if self.cost_per_km < 0:
+            raise ValueError("cost_per_km must be non-negative")
+
+    # ------------------------------------------------------------------
+    # distance / time / cost between arbitrary points
+    # ------------------------------------------------------------------
+    def distance_km(self, origin: GeoPoint, destination: GeoPoint) -> float:
+        """Driving distance estimate in kilometres."""
+        return self.estimator.distance_km(origin, destination)
+
+    def travel_time_s(self, origin: GeoPoint, destination: GeoPoint) -> float:
+        """Travel-time estimate in seconds."""
+        return self.time_for_distance_s(self.distance_km(origin, destination))
+
+    def travel_cost(self, origin: GeoPoint, destination: GeoPoint) -> float:
+        """Monetary driving-cost estimate."""
+        return self.cost_for_distance(self.distance_km(origin, destination))
+
+    # ------------------------------------------------------------------
+    # conversions for known distances (e.g. taken from the trace itself)
+    # ------------------------------------------------------------------
+    def time_for_distance_s(self, distance_km: float) -> float:
+        """Seconds needed to drive ``distance_km`` at the average speed."""
+        if distance_km < 0:
+            raise ValueError("distance must be non-negative")
+        return distance_km / self.speed_kmh * 3600.0
+
+    def cost_for_distance(self, distance_km: float) -> float:
+        """Monetary cost of driving ``distance_km``."""
+        if distance_km < 0:
+            raise ValueError("distance must be non-negative")
+        return distance_km * self.cost_per_km
+
+
+def default_travel_model(speed_kmh: float = 30.0, cost_per_km: float = 0.12) -> TravelModel:
+    """The travel model used throughout the evaluation.
+
+    Haversine distances with a 1.3 circuity factor, a 30 km/h average urban
+    speed and a 0.12 currency-unit/km driving cost (approximately the Porto
+    gasoline cost per km in the trace period).
+    """
+    return TravelModel(HaversineEstimator(), speed_kmh=speed_kmh, cost_per_km=cost_per_km)

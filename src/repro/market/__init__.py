@@ -1,0 +1,44 @@
+"""Market core: drivers, tasks, cost model, task maps and market instances."""
+
+from .cost import Leg, MarketCostModel
+from .driver import Driver
+from .graph import (
+    build_driver_graph,
+    build_market_graph,
+    driver_diameter,
+    graph_summary,
+    market_diameter,
+)
+from .instance import MarketInstance, market_from_trace, tasks_from_trips
+from .task import Task
+from .taskmap import (
+    SINK_NODE,
+    SOURCE_NODE,
+    DriverTaskMap,
+    TaskNetwork,
+    build_driver_task_map,
+    build_driver_task_maps,
+    build_task_network,
+)
+
+__all__ = [
+    "Driver",
+    "Task",
+    "Leg",
+    "MarketCostModel",
+    "MarketInstance",
+    "market_from_trace",
+    "tasks_from_trips",
+    "TaskNetwork",
+    "DriverTaskMap",
+    "build_task_network",
+    "build_driver_task_map",
+    "build_driver_task_maps",
+    "SOURCE_NODE",
+    "SINK_NODE",
+    "build_driver_graph",
+    "build_market_graph",
+    "market_diameter",
+    "driver_diameter",
+    "graph_summary",
+]

@@ -1,0 +1,152 @@
+"""Merged market graph ``G`` and graph diagnostics.
+
+Section IV-A of the paper merges all drivers' task maps into one big DAG
+``G`` containing every driver source, every driver destination and every task
+node; the offline problem is then a maximum-value node-disjoint-paths problem
+on ``G``.  The greedy solver works directly on the vectorised task maps for
+speed, but the explicit :mod:`networkx` graph built here is useful for
+inspection, for computing the diameter ``D`` that appears in the
+``1/(D+1)`` approximation ratio, and for cross-checking path feasibility in
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import networkx as nx
+
+from .instance import MarketInstance
+from .taskmap import SINK_NODE, SOURCE_NODE, DriverTaskMap
+
+
+def driver_source(driver_id: str) -> Tuple[str, str]:
+    """Graph node representing driver ``driver_id``'s source (paper label 0)."""
+    return ("driver_source", driver_id)
+
+
+def driver_sink(driver_id: str) -> Tuple[str, str]:
+    """Graph node representing driver ``driver_id``'s destination (label -1)."""
+    return ("driver_sink", driver_id)
+
+
+def task_node(index: int) -> Tuple[str, int]:
+    """Graph node representing task ``index``."""
+    return ("task", index)
+
+
+def build_driver_graph(task_map: DriverTaskMap) -> nx.DiGraph:
+    """One driver's task map as an explicit :class:`networkx.DiGraph`.
+
+    Arc attributes carry the empty-drive leg cost (``cost``) and time
+    (``time_s``); task nodes carry the price, service cost and deadlines.
+    """
+    graph = nx.DiGraph()
+    driver_id = task_map.driver.driver_id
+    src = driver_source(driver_id)
+    dst = driver_sink(driver_id)
+    graph.add_node(src, kind="source", driver_id=driver_id)
+    graph.add_node(dst, kind="sink", driver_id=driver_id)
+    graph.add_edge(src, dst, cost=task_map.direct_leg.cost, time_s=task_map.direct_leg.time_s)
+
+    net = task_map.network
+    usable = set(int(m) for m in task_map.usable_tasks())
+    for m in usable:
+        task = net.tasks[m]
+        graph.add_node(
+            task_node(m),
+            kind="task",
+            task_id=task.task_id,
+            price=float(net.prices[m]),
+            service_cost=float(net.service_costs[m]),
+            start_deadline_ts=task.start_deadline_ts,
+            end_deadline_ts=task.end_deadline_ts,
+        )
+        graph.add_edge(
+            task_node(m),
+            dst,
+            cost=float(task_map.sink_leg_costs[m]),
+            time_s=float(task_map.sink_leg_times[m]),
+        )
+    for m in (int(x) for x in task_map.entry_tasks()):
+        graph.add_edge(
+            src,
+            task_node(m),
+            cost=float(task_map.source_leg_costs[m]),
+            time_s=float(task_map.source_leg_times[m]),
+        )
+    for m in usable:
+        for j, m_prime in enumerate(net.successors[m]):
+            m_prime = int(m_prime)
+            if m_prime not in usable:
+                continue
+            graph.add_edge(
+                task_node(m),
+                task_node(m_prime),
+                cost=float(net.leg_costs[m][j]),
+                time_s=float(net.leg_times[m][j]),
+            )
+    return graph
+
+
+def build_market_graph(instance: MarketInstance) -> nx.DiGraph:
+    """The merged DAG ``G`` over all drivers (Section IV-A)."""
+    graph = nx.DiGraph()
+    for driver in instance.drivers:
+        driver_graph = build_driver_graph(instance.task_map(driver.driver_id))
+        graph = nx.compose(graph, driver_graph)
+    return graph
+
+
+def market_diameter(instance: MarketInstance) -> int:
+    """``D`` — the maximum number of task nodes on any feasible path.
+
+    This is the quantity in the paper's ``1/(D+1)`` approximation ratio: the
+    maximum number of tasks a single driver could chain during one working
+    period.  Computed by a longest-path (in hop count over task nodes) DP on
+    the merged DAG, which is acyclic by construction.
+    """
+    best = 0
+    for driver in instance.drivers:
+        best = max(best, driver_diameter(instance.task_map(driver.driver_id)))
+    return best
+
+
+def driver_diameter(task_map: DriverTaskMap) -> int:
+    """Maximum number of tasks on any feasible path of one driver's map."""
+    net = task_map.network
+    usable = task_map.exit_ok
+    # longest chain ending at each task, following topological order
+    longest: Dict[int, int] = {}
+    best = 0
+    for m in (int(x) for x in net.topo_order):
+        if not usable[m]:
+            continue
+        start = 1 if task_map.entry_ok[m] else 0
+        if start == 0 and m not in longest:
+            # not yet proven reachable from the driver's source
+            reachable_len = 0
+        else:
+            reachable_len = max(start, longest.get(m, 0))
+        if reachable_len == 0:
+            continue
+        best = max(best, reachable_len)
+        for m_prime in (int(x) for x in task_map.successors_of(m)):
+            longest[m_prime] = max(longest.get(m_prime, 0), reachable_len + 1)
+    return best
+
+
+def graph_summary(instance: MarketInstance) -> Dict[str, float]:
+    """Summary statistics of the merged market graph (for reports/examples)."""
+    network = instance.task_network
+    total_entry_arcs = sum(int(tm.entry_ok.sum()) for tm in instance.task_maps.values())
+    total_exit_arcs = sum(int(tm.exit_ok.sum()) for tm in instance.task_maps.values())
+    return {
+        "drivers": float(instance.driver_count),
+        "tasks": float(instance.task_count),
+        "servable_tasks": float(int(network.servable.sum())),
+        "task_to_task_arcs": float(network.arc_count()),
+        "driver_entry_arcs": float(total_entry_arcs),
+        "driver_exit_arcs": float(total_exit_arcs),
+        "diameter": float(market_diameter(instance)),
+    }

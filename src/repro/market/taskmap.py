@@ -1,0 +1,363 @@
+"""Task-map construction (Section III-B, Eqs. 1-3).
+
+The paper builds, for every driver, a directed acyclic graph whose nodes are
+her virtual source (label 0), her virtual destination (label -1) and every
+task; an arc means "the driver can take the head task after finishing the
+tail task in time".
+
+A naive per-driver construction is ``O(M²)`` per driver (``O(N·M²)`` in
+total).  Two observations keep this fast at the scale of the paper's
+evaluation (1000 tasks, up to 300 drivers):
+
+* Eq. (1) — whether a task can be completed inside its own time window —
+  and the leg condition of Eq. (3) — whether one task's destination can
+  reach another task's source before its pickup deadline — do not depend on
+  the driver at all (travel times come from distances and a shared average
+  speed).  They are computed once and shared in a :class:`TaskNetwork`.
+* Only the source-arc and sink-arc conditions of Eqs. (2)-(3) depend on the
+  driver; they are vectorised per driver in :class:`DriverTaskMap`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cost import Leg, MarketCostModel
+from .driver import Driver
+from .task import Task
+
+#: Node label of the driver's virtual source (the paper's node ``0``).
+SOURCE_NODE = "source"
+#: Node label of the driver's virtual destination (the paper's node ``-1``).
+SINK_NODE = "sink"
+
+
+@dataclass(frozen=True)
+class TaskNetwork:
+    """Driver-independent part of the task maps, shared by all drivers.
+
+    Attributes
+    ----------
+    tasks:
+        The market's tasks, in index order (task ``m`` is ``tasks[m]``).
+    durations_s:
+        ``l̂_m`` — in-task travel time for each task.
+    service_costs:
+        ``ĉ_m`` — in-task driving cost for each task.
+    prices / valuations:
+        ``p_m`` and ``b_m`` for each task.
+    servable:
+        Eq. (1): whether the task can be completed within its own window.
+    successors / leg_times / leg_costs:
+        For every task ``m``, the tasks ``m'`` reachable after it (the
+        driver-independent part of Eq. (3)) with the empty-drive leg time and
+        cost of the connection.
+    topo_order:
+        Task indices sorted by pickup deadline — a valid topological order of
+        every driver's task map, because every arc goes from an earlier
+        drop-off deadline to a later pickup deadline.
+    """
+
+    tasks: Tuple[Task, ...]
+    durations_s: np.ndarray
+    service_costs: np.ndarray
+    prices: np.ndarray
+    valuations: np.ndarray
+    servable: np.ndarray
+    successors: Tuple[np.ndarray, ...]
+    leg_times: Tuple[np.ndarray, ...]
+    leg_costs: Tuple[np.ndarray, ...]
+    topo_order: np.ndarray
+
+    @property
+    def task_count(self) -> int:
+        return len(self.tasks)
+
+    def arc_count(self) -> int:
+        """Number of driver-independent task-to-task arcs."""
+        return int(sum(len(s) for s in self.successors))
+
+    def successor_leg(self, m: int, m_prime: int) -> Optional[Leg]:
+        """The empty-drive leg of arc ``m -> m_prime`` if it exists."""
+        succ = self.successors[m]
+        positions = np.nonzero(succ == m_prime)[0]
+        if positions.size == 0:
+            return None
+        j = int(positions[0])
+        return Leg(time_s=float(self.leg_times[m][j]), cost=float(self.leg_costs[m][j]))
+
+
+def build_task_network(
+    tasks: Sequence[Task],
+    cost_model: MarketCostModel,
+) -> TaskNetwork:
+    """Build the shared :class:`TaskNetwork` for a collection of tasks."""
+    task_tuple = tuple(tasks)
+    count = len(task_tuple)
+    if count == 0:
+        empty = np.zeros(0)
+        return TaskNetwork(
+            tasks=task_tuple,
+            durations_s=empty,
+            service_costs=empty,
+            prices=empty,
+            valuations=empty,
+            servable=np.zeros(0, dtype=bool),
+            successors=tuple(),
+            leg_times=tuple(),
+            leg_costs=tuple(),
+            topo_order=np.zeros(0, dtype=int),
+        )
+
+    durations = np.array([cost_model.task_duration_s(t) for t in task_tuple])
+    service_costs = np.array([cost_model.task_cost(t) for t in task_tuple])
+    prices = np.array([t.price for t in task_tuple])
+    valuations = np.array([t.valuation for t in task_tuple])
+    start_deadlines = np.array([t.start_deadline_ts for t in task_tuple])
+    end_deadlines = np.array([t.end_deadline_ts for t in task_tuple])
+
+    # Eq. (1): the ride itself must fit inside the task's own time window.
+    servable = durations <= (end_deadlines - start_deadlines) + 1e-9
+
+    # Driver-independent part of Eq. (3): destination of m can reach the
+    # source of m' before m's drop-off deadline turns into m''s pickup
+    # deadline.
+    destinations = [t.destination for t in task_tuple]
+    sources = [t.source for t in task_tuple]
+    leg_time_matrix, leg_cost_matrix = cost_model.pairwise_leg_matrix(destinations, sources)
+    slack = start_deadlines[None, :] - end_deadlines[:, None]
+    connectable = leg_time_matrix <= slack + 1e-9
+    np.fill_diagonal(connectable, False)
+    connectable &= servable[None, :]
+    connectable &= servable[:, None]
+
+    successors: List[np.ndarray] = []
+    leg_times: List[np.ndarray] = []
+    leg_costs: List[np.ndarray] = []
+    for m in range(count):
+        succ = np.nonzero(connectable[m])[0]
+        successors.append(succ)
+        leg_times.append(leg_time_matrix[m, succ])
+        leg_costs.append(leg_cost_matrix[m, succ])
+
+    return TaskNetwork(
+        tasks=task_tuple,
+        durations_s=durations,
+        service_costs=service_costs,
+        prices=prices,
+        valuations=valuations,
+        servable=servable,
+        successors=tuple(successors),
+        leg_times=tuple(leg_times),
+        leg_costs=tuple(leg_costs),
+        topo_order=np.argsort(start_deadlines, kind="stable"),
+    )
+
+
+@dataclass(frozen=True)
+class DriverTaskMap:
+    """One driver's task map: the per-driver part of Eqs. (2)-(3).
+
+    Attributes
+    ----------
+    driver:
+        The driver this map belongs to.
+    network:
+        The shared driver-independent :class:`TaskNetwork`.
+    entry_ok:
+        Eq. (2): tasks with an arc from the driver's source node.
+    exit_ok:
+        Tasks with an arc to the driver's destination node (the driver can
+        still reach her destination in time after dropping the customer off).
+    source_leg_times / source_leg_costs:
+        Empty-drive legs from the driver's source to every task's source.
+    sink_leg_times / sink_leg_costs:
+        Empty-drive legs from every task's destination to the driver's
+        destination.
+    direct_leg:
+        ``c_{n,0,-1}`` — the driver's own source-to-destination leg.
+    """
+
+    driver: Driver
+    network: TaskNetwork
+    entry_ok: np.ndarray
+    exit_ok: np.ndarray
+    source_leg_times: np.ndarray
+    source_leg_costs: np.ndarray
+    sink_leg_times: np.ndarray
+    sink_leg_costs: np.ndarray
+    direct_leg: Leg
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    @property
+    def task_count(self) -> int:
+        return self.network.task_count
+
+    def usable_tasks(self) -> np.ndarray:
+        """Indices of tasks that can appear anywhere on one of this driver's
+        paths (they must at least allow the driver to reach her sink)."""
+        return np.nonzero(self.exit_ok)[0]
+
+    def entry_tasks(self) -> np.ndarray:
+        """Indices of tasks reachable directly from the driver's source."""
+        return np.nonzero(self.entry_ok)[0]
+
+    def has_any_task(self) -> bool:
+        return bool(self.entry_ok.any())
+
+    def successors_of(self, m: int, allowed: Optional[np.ndarray] = None) -> np.ndarray:
+        """Tasks that may follow task ``m`` on this driver's path.
+
+        ``allowed`` is an optional boolean mask (e.g. tasks not yet taken by
+        other drivers in the greedy algorithm).
+        """
+        succ = self.network.successors[m]
+        mask = self.exit_ok[succ]
+        if allowed is not None:
+            mask = mask & allowed[succ]
+        return succ[mask]
+
+    def arc_exists(self, tail, head) -> bool:
+        """Whether the task map contains the arc ``tail -> head``.
+
+        ``tail``/``head`` are task indices or the :data:`SOURCE_NODE` /
+        :data:`SINK_NODE` sentinels.
+        """
+        if tail == SOURCE_NODE and head == SINK_NODE:
+            return True
+        if tail == SOURCE_NODE:
+            return bool(self.entry_ok[int(head)])
+        if head == SINK_NODE:
+            return bool(self.exit_ok[int(tail)])
+        tail_i, head_i = int(tail), int(head)
+        if not self.exit_ok[head_i]:
+            return False
+        return bool(np.any(self.network.successors[tail_i] == head_i))
+
+    # ------------------------------------------------------------------
+    # path evaluation
+    # ------------------------------------------------------------------
+    def is_feasible_path(self, path: Sequence[int]) -> bool:
+        """Whether ``path`` (a sequence of task indices) is a valid task list:
+        it must start with an entry arc, follow existing arcs, and end with an
+        exit arc.  The empty path is always feasible."""
+        if len(path) == 0:
+            return True
+        if len(set(path)) != len(path):
+            return False
+        if not self.entry_ok[path[0]]:
+            return False
+        for tail, head in zip(path[:-1], path[1:]):
+            if not self.arc_exists(tail, head):
+                return False
+        return bool(self.exit_ok[path[-1]])
+
+    def path_profit(self, path: Sequence[int], use_valuation: bool = False) -> float:
+        """The profit ``r_π`` of a task list (Eq. (4) restricted to one driver).
+
+        ``sum(value_m - ĉ_m) - (source leg + connecting legs + sink leg)
+        + c_{n,0,-1}``.  With ``use_valuation=True`` the customer valuation
+        ``b_m`` replaces the price ``p_m`` (the social-welfare objective of
+        Eq. (6)).  The empty path has profit exactly 0.
+        """
+        if len(path) == 0:
+            return 0.0
+        net = self.network
+        values = net.valuations if use_valuation else net.prices
+        total = 0.0
+        for m in path:
+            total += float(values[m] - net.service_costs[m])
+        total -= float(self.source_leg_costs[path[0]])
+        for tail, head in zip(path[:-1], path[1:]):
+            leg = net.successor_leg(tail, head)
+            if leg is None:
+                raise ValueError(f"path uses a non-existent arc {tail} -> {head}")
+            total -= leg.cost
+        total -= float(self.sink_leg_costs[path[-1]])
+        total += self.direct_leg.cost
+        return total
+
+    def path_excess_cost(self, path: Sequence[int]) -> float:
+        """The excess driving cost of a task list (the parenthesised term of
+        Eq. (4) for this driver): everything she drives beyond her original
+        source-to-destination plan."""
+        if len(path) == 0:
+            return 0.0
+        net = self.network
+        cost = float(self.source_leg_costs[path[0]])
+        for m in path:
+            cost += float(net.service_costs[m])
+        for tail, head in zip(path[:-1], path[1:]):
+            leg = net.successor_leg(tail, head)
+            if leg is None:
+                raise ValueError(f"path uses a non-existent arc {tail} -> {head}")
+            cost += leg.cost
+        cost += float(self.sink_leg_costs[path[-1]])
+        return cost - self.direct_leg.cost
+
+
+def build_driver_task_map(
+    driver: Driver,
+    network: TaskNetwork,
+    cost_model: MarketCostModel,
+) -> DriverTaskMap:
+    """Build one driver's task map on top of the shared network."""
+    count = network.task_count
+    direct_leg = cost_model.driver_direct_leg(driver.source, driver.destination)
+    if count == 0:
+        empty = np.zeros(0)
+        empty_bool = np.zeros(0, dtype=bool)
+        return DriverTaskMap(
+            driver=driver,
+            network=network,
+            entry_ok=empty_bool,
+            exit_ok=empty_bool,
+            source_leg_times=empty,
+            source_leg_costs=empty,
+            sink_leg_times=empty,
+            sink_leg_costs=empty,
+            direct_leg=direct_leg,
+        )
+
+    sources = [t.source for t in network.tasks]
+    destinations = [t.destination for t in network.tasks]
+    start_deadlines = np.array([t.start_deadline_ts for t in network.tasks])
+    end_deadlines = np.array([t.end_deadline_ts for t in network.tasks])
+
+    source_times, source_costs = cost_model.legs_from_point(driver.source, sources)
+    sink_times, sink_costs = cost_model.legs_to_point(destinations, driver.destination)
+
+    # Eq. (2)/(3) driver-dependent conditions.
+    exit_ok = network.servable & (sink_times <= (driver.end_ts - end_deadlines) + 1e-9)
+    entry_ok = exit_ok & (source_times <= (start_deadlines - driver.start_ts) + 1e-9)
+
+    return DriverTaskMap(
+        driver=driver,
+        network=network,
+        entry_ok=entry_ok,
+        exit_ok=exit_ok,
+        source_leg_times=source_times,
+        source_leg_costs=source_costs,
+        sink_leg_times=sink_times,
+        sink_leg_costs=sink_costs,
+        direct_leg=direct_leg,
+    )
+
+
+def build_driver_task_maps(
+    drivers: Iterable[Driver],
+    network: TaskNetwork,
+    cost_model: MarketCostModel,
+) -> Dict[str, DriverTaskMap]:
+    """Task maps for a whole fleet, keyed by driver id."""
+    maps: Dict[str, DriverTaskMap] = {}
+    for driver in drivers:
+        if driver.driver_id in maps:
+            raise ValueError(f"duplicate driver id {driver.driver_id!r}")
+        maps[driver.driver_id] = build_driver_task_map(driver, network, cost_model)
+    return maps

@@ -1,0 +1,39 @@
+"""Online dispatch: driver state, dispatch heuristics and the simulator."""
+
+from .batch import BatchConfig, BatchedSimulator, run_batched
+from .dispatchers import Dispatcher, MaxMarginDispatcher, NearestDispatcher, RandomDispatcher
+from .outcome import OnlineDriverRecord, OnlineOutcome
+from .repositioning import (
+    DemandHeatmap,
+    HotspotRepositioning,
+    NoRepositioning,
+    RepositioningMove,
+    RepositioningPolicy,
+    apply_repositioning,
+)
+from .simulator import OnlineSimulator, SimulationConfig, TaskOrdering, run_online
+from .state import Candidate, DriverState
+
+__all__ = [
+    "Dispatcher",
+    "NearestDispatcher",
+    "MaxMarginDispatcher",
+    "RandomDispatcher",
+    "BatchConfig",
+    "BatchedSimulator",
+    "run_batched",
+    "DemandHeatmap",
+    "RepositioningPolicy",
+    "RepositioningMove",
+    "HotspotRepositioning",
+    "NoRepositioning",
+    "apply_repositioning",
+    "DriverState",
+    "Candidate",
+    "OnlineDriverRecord",
+    "OnlineOutcome",
+    "OnlineSimulator",
+    "SimulationConfig",
+    "TaskOrdering",
+    "run_online",
+]

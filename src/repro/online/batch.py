@@ -1,0 +1,271 @@
+"""Batched (rolling-horizon) online dispatch.
+
+The paper's conclusion lists "solving the online problem with non-heuristic
+algorithms" as future work.  The standard industry step in that direction is
+*batched matching*: instead of dispatching every order the instant it
+arrives, the platform accumulates the orders of a short window (Uber and Didi
+use a few seconds to a minute) and solves one assignment problem per window,
+which removes most of the myopia of per-order rules at a negligible latency
+cost.
+
+:class:`BatchedSimulator` implements that policy on top of the same driver
+state as the per-order simulator:
+
+1. orders are grouped into windows of ``window_s`` seconds by publish time;
+2. at the end of each window the feasible (driver, order) pairs are priced by
+   the marginal value ``delta_{n,m}`` (Eq. 14 of the paper);
+3. a maximum-weight assignment over those pairs is solved with the Hungarian
+   algorithm (``scipy.optimize.linear_sum_assignment``), so each driver picks
+   up at most one *new* order per window and each order goes to at most one
+   driver;
+4. drivers advance exactly as in the per-order simulator, and unassigned
+   orders whose pickup deadline has not passed roll over into the next
+   window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from ..market.instance import MarketInstance
+from ..market.task import Task
+from .outcome import OnlineDriverRecord, OnlineOutcome
+from .state import Candidate, DriverState
+
+#: Cost assigned to infeasible pairs in the assignment matrix.
+_INFEASIBLE = 1e12
+
+
+@dataclass(frozen=True, slots=True)
+class BatchConfig:
+    """Knobs of the batched dispatcher."""
+
+    #: Length of the accumulation window in seconds.
+    window_s: float = 60.0
+    #: Refuse (driver, order) pairs whose marginal value is negative, so that
+    #: individual rationality (constraint 5b) also holds online.
+    require_positive_margin: bool = True
+    #: Let orders that missed their window retry in later windows as long as
+    #: their pickup deadline has not passed.
+    allow_retries: bool = True
+    #: Trace-replay semantics (see ``SimulationConfig``): wait at the pickup
+    #: until the recorded start and occupy the driver for the recorded
+    #: duration.
+    wait_for_pickup_deadline: bool = True
+    use_recorded_duration: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+
+
+class BatchedSimulator:
+    """Rolling-horizon batched dispatch over a market instance."""
+
+    name = "batched"
+
+    def __init__(self, instance: MarketInstance, config: BatchConfig | None = None) -> None:
+        self.instance = instance
+        self.config = config or BatchConfig()
+        self._cost_model = instance.cost_model
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> OnlineOutcome:
+        """Simulate the full order stream window by window."""
+        states = {
+            driver.driver_id: DriverState.fresh(driver) for driver in self.instance.drivers
+        }
+        pending: List[int] = []
+        rejected: List[int] = []
+
+        for window_end, arrivals in self._windows():
+            pending.extend(arrivals)
+            if not pending:
+                continue
+            for state in states.values():
+                state.release_if_done(window_end)
+
+            assigned, expired = self._dispatch_window(window_end, pending, states)
+            rejected.extend(expired)
+            still_pending = [
+                m for m in pending if m not in assigned and m not in set(expired)
+            ]
+            if not self.config.allow_retries:
+                rejected.extend(still_pending)
+                still_pending = []
+            pending = still_pending
+
+        rejected.extend(pending)
+        records = tuple(self._settle(state) for state in states.values())
+        return OnlineOutcome(
+            instance=self.instance,
+            records=records,
+            rejected_tasks=tuple(sorted(set(rejected))),
+            dispatcher_name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # window machinery
+    # ------------------------------------------------------------------
+    def _windows(self) -> List[Tuple[float, List[int]]]:
+        """Group task indices into dispatch windows by publish time."""
+        indexed = [
+            (index, task)
+            for index, task in enumerate(self.instance.tasks)
+            if task.is_publishable
+        ]
+        if not indexed:
+            return []
+        indexed.sort(key=lambda pair: (pair[1].publish_ts, pair[0]))
+        first_publish = indexed[0][1].publish_ts
+        window_s = self.config.window_s
+
+        windows: Dict[int, List[int]] = {}
+        for index, task in indexed:
+            slot = int((task.publish_ts - first_publish) // window_s)
+            windows.setdefault(slot, []).append(index)
+        return [
+            (first_publish + (slot + 1) * window_s, indices)
+            for slot, indices in sorted(windows.items())
+        ]
+
+    def _dispatch_window(
+        self,
+        now_ts: float,
+        pending: Sequence[int],
+        states: Dict[str, DriverState],
+    ) -> Tuple[Dict[int, str], List[int]]:
+        """Assign the pending orders of one window.  Returns the mapping of
+        assigned task index -> driver id, plus the orders whose deadline has
+        already passed (they can never be served and are rejected now)."""
+        expired = [
+            m for m in pending if self.instance.tasks[m].start_deadline_ts < now_ts
+        ]
+        candidates_by_task: Dict[int, List[Candidate]] = {}
+        live_tasks: List[int] = []
+        for m in pending:
+            if m in set(expired):
+                continue
+            task = self.instance.tasks[m]
+            candidates = self._candidates(m, task, states.values(), now_ts)
+            if candidates:
+                candidates_by_task[m] = candidates
+                live_tasks.append(m)
+
+        if not live_tasks:
+            return {}, expired
+
+        driver_ids = list(states.keys())
+        driver_pos = {driver_id: j for j, driver_id in enumerate(driver_ids)}
+        cost = np.full((len(live_tasks), len(driver_ids)), _INFEASIBLE)
+        candidate_lookup: Dict[Tuple[int, str], Candidate] = {}
+        for i, m in enumerate(live_tasks):
+            for candidate in candidates_by_task[m]:
+                if self.config.require_positive_margin and candidate.marginal_value <= 0:
+                    continue
+                j = driver_pos[candidate.driver_id]
+                cost[i, j] = -candidate.marginal_value
+                candidate_lookup[(m, candidate.driver_id)] = candidate
+
+        rows, cols = optimize.linear_sum_assignment(cost)
+        assigned: Dict[int, str] = {}
+        for i, j in zip(rows, cols):
+            if cost[i, j] >= _INFEASIBLE:
+                continue
+            m = live_tasks[i]
+            driver_id = driver_ids[j]
+            candidate = candidate_lookup[(m, driver_id)]
+            self._commit(candidate, m, self.instance.tasks[m])
+            assigned[m] = driver_id
+        return assigned, expired
+
+    # ------------------------------------------------------------------
+    # per-pair feasibility (same rules as the per-order simulator)
+    # ------------------------------------------------------------------
+    def _candidates(
+        self, task_index: int, task: Task, states, now_ts: float
+    ) -> List[Candidate]:
+        network = self.instance.task_network
+        if not network.servable[task_index]:
+            return []
+        if self.config.use_recorded_duration:
+            ride_duration = task.ride_window_s
+        else:
+            ride_duration = float(network.durations_s[task_index])
+        service_cost = float(network.service_costs[task_index])
+
+        candidates: List[Candidate] = []
+        for state in states:
+            driver = state.driver
+            depart_ts = max(state.free_at, now_ts, driver.start_ts)
+            if depart_ts > task.start_deadline_ts:
+                continue
+            approach = self._cost_model.leg(state.location, task.source)
+            arrival_ts = depart_ts + approach.time_s
+            if arrival_ts > task.start_deadline_ts + 1e-9:
+                continue
+            pickup_ts = (
+                max(arrival_ts, task.start_deadline_ts)
+                if self.config.wait_for_pickup_deadline
+                else arrival_ts
+            )
+            dropoff_ts = pickup_ts + ride_duration
+            if dropoff_ts > task.end_deadline_ts + 1e-9:
+                continue
+            home_leg = self._cost_model.leg(task.destination, driver.destination)
+            if dropoff_ts + home_leg.time_s > driver.end_ts + 1e-9:
+                continue
+            current_home_leg = self._cost_model.leg(state.location, driver.destination)
+            marginal = task.price - (
+                home_leg.cost + service_cost + approach.cost - current_home_leg.cost
+            )
+            candidates.append(
+                Candidate(
+                    state=state,
+                    arrival_ts=arrival_ts,
+                    dropoff_ts=dropoff_ts,
+                    approach_cost=approach.cost,
+                    marginal_value=marginal,
+                )
+            )
+        return candidates
+
+    def _commit(self, choice: Candidate, task_index: int, task: Task) -> None:
+        service_cost = float(self.instance.task_network.service_costs[task_index])
+        profit_delta = task.price - service_cost - choice.approach_cost
+        choice.state.assign(
+            task_index=task_index,
+            pickup_location=task.source,
+            dropoff_location=task.destination,
+            dropoff_ts=choice.dropoff_ts,
+            profit_delta=profit_delta,
+        )
+
+    def _settle(self, state: DriverState) -> OnlineDriverRecord:
+        profit = state.running_profit
+        if state.served:
+            final_leg = self._cost_model.leg(state.location, state.driver.destination)
+            direct_leg = self._cost_model.driver_direct_leg(
+                state.driver.source, state.driver.destination
+            )
+            profit = profit - final_leg.cost + direct_leg.cost
+        return OnlineDriverRecord(
+            driver_id=state.driver.driver_id,
+            task_indices=tuple(state.served),
+            profit=profit,
+        )
+
+
+def run_batched(
+    instance: MarketInstance, window_s: float = 60.0, config: Optional[BatchConfig] = None
+) -> OnlineOutcome:
+    """Convenience wrapper around :class:`BatchedSimulator`."""
+    if config is None:
+        config = BatchConfig(window_s=window_s)
+    return BatchedSimulator(instance, config).run()

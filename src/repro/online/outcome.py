@@ -1,0 +1,110 @@
+"""Result of an online simulation.
+
+Produces the same metric vocabulary as :class:`repro.core.MarketSolution`
+(total value, revenue, serve rate, per-driver averages) so that online and
+offline algorithms can be compared side by side in the Fig. 5-9 experiments.
+
+Online plans are *not* converted into offline task-map paths: a driver who
+finishes a ride earlier than its drop-off deadline may legitimately chain a
+task that the deadline-based task map rules out (Section V of the paper), so
+profits are accounted from the drives actually simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..market.instance import MarketInstance
+
+
+@dataclass(frozen=True, slots=True)
+class OnlineDriverRecord:
+    """One driver's final record after an online simulation."""
+
+    driver_id: str
+    task_indices: Tuple[int, ...]
+    profit: float
+
+    @property
+    def task_count(self) -> int:
+        return len(self.task_indices)
+
+
+@dataclass(frozen=True)
+class OnlineOutcome:
+    """Aggregate outcome of one online simulation run."""
+
+    instance: MarketInstance
+    records: Tuple[OnlineDriverRecord, ...]
+    rejected_tasks: Tuple[int, ...]
+    dispatcher_name: str
+
+    # ------------------------------------------------------------------
+    # assignment views
+    # ------------------------------------------------------------------
+    def assignment(self) -> Dict[str, Tuple[int, ...]]:
+        """``driver_id -> served task indices`` (drivers with work only)."""
+        return {r.driver_id: r.task_indices for r in self.records if r.task_indices}
+
+    def served_tasks(self) -> set[int]:
+        served: set[int] = set()
+        for record in self.records:
+            served.update(record.task_indices)
+        return served
+
+    def record_for(self, driver_id: str) -> OnlineDriverRecord:
+        for record in self.records:
+            if record.driver_id == driver_id:
+                return record
+        raise KeyError(f"no record for driver {driver_id!r}")
+
+    # ------------------------------------------------------------------
+    # metrics (same vocabulary as MarketSolution)
+    # ------------------------------------------------------------------
+    @property
+    def total_value(self) -> float:
+        """Drivers' total profit achieved by the online algorithm."""
+        return sum(record.profit for record in self.records)
+
+    @property
+    def served_count(self) -> int:
+        return len(self.served_tasks())
+
+    @property
+    def serve_rate(self) -> float:
+        if self.instance.task_count == 0:
+            return 1.0
+        return self.served_count / self.instance.task_count
+
+    @property
+    def total_revenue(self) -> float:
+        prices = self.instance.task_network.prices
+        return float(sum(prices[m] for m in self.served_tasks()))
+
+    @property
+    def active_driver_count(self) -> int:
+        return sum(1 for record in self.records if record.task_indices)
+
+    def revenue_per_driver(self) -> float:
+        if self.instance.driver_count == 0:
+            return 0.0
+        return self.total_revenue / self.instance.driver_count
+
+    def tasks_per_driver(self) -> float:
+        if self.instance.driver_count == 0:
+            return 0.0
+        return self.served_count / self.instance.driver_count
+
+    def summary(self) -> Dict[str, float]:
+        """Flat metric dictionary (same keys as ``MarketSolution.summary``)."""
+        return {
+            "total_value": self.total_value,
+            "total_revenue": self.total_revenue,
+            "served_count": float(self.served_count),
+            "serve_rate": self.serve_rate,
+            "revenue_per_driver": self.revenue_per_driver(),
+            "tasks_per_driver": self.tasks_per_driver(),
+            "active_drivers": float(self.active_driver_count),
+            "rejected_tasks": float(len(self.rejected_tasks)),
+        }

@@ -1,0 +1,226 @@
+"""Idle-driver repositioning.
+
+Section VI-C of the paper concludes that "an effective matching market
+designer should make the market dense enough to ensure a high service rate".
+Dispatch alone cannot do that when idle drivers sit where their last
+drop-off happened to be; production platforms therefore *reposition* idle
+drivers towards predicted demand.  This module adds that capability as an
+optional plug-in for the online simulator:
+
+* :class:`DemandHeatmap` — a zone-by-hour count of historical ride requests
+  (built from tasks or trips), answering "where is demand expected around
+  time t?".
+* :class:`HotspotRepositioning` — moves a driver who has been idle for a
+  while towards the busiest reachable zone centre, provided she can still
+  make it to her own destination in time afterwards.  The empty drive is paid
+  for by the driver, so repositioning only pays off when it wins her
+  subsequent rides — exactly the trade-off the ablation benchmark measures.
+* :class:`NoRepositioning` — the do-nothing baseline.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..geo import BoundingBox, GeoPoint, PORTO
+from ..market.task import Task
+from ..trace.records import TripRecord
+from .state import DriverState
+
+
+class DemandHeatmap:
+    """Zone-by-hour demand counts over a service area."""
+
+    def __init__(self, bounding_box: BoundingBox = PORTO, rows: int = 6, cols: int = 6) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("rows and cols must be >= 1")
+        self.bounding_box = bounding_box
+        self.rows = rows
+        self.cols = cols
+        self._counts: Dict[Tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # building
+    # ------------------------------------------------------------------
+    def record(self, location: GeoPoint, ts: float, count: int = 1) -> None:
+        """Record ``count`` ride requests at ``location`` around time ``ts``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        key = self._key(location, ts)
+        self._counts[key] = self._counts.get(key, 0) + count
+
+    @classmethod
+    def from_tasks(
+        cls,
+        tasks: Iterable[Task],
+        bounding_box: BoundingBox = PORTO,
+        rows: int = 6,
+        cols: int = 6,
+    ) -> "DemandHeatmap":
+        """Build a heatmap from task pickup locations and deadlines."""
+        heatmap = cls(bounding_box, rows, cols)
+        for task in tasks:
+            heatmap.record(task.source, task.start_deadline_ts)
+        return heatmap
+
+    @classmethod
+    def from_trips(
+        cls,
+        trips: Iterable[TripRecord],
+        bounding_box: BoundingBox = PORTO,
+        rows: int = 6,
+        cols: int = 6,
+    ) -> "DemandHeatmap":
+        """Build a heatmap from historical trips (yesterday's demand as the
+        forecast for today, the simplest production-grade predictor)."""
+        heatmap = cls(bounding_box, rows, cols)
+        for trip in trips:
+            heatmap.record(trip.origin, trip.start_ts)
+        return heatmap
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def demand_at(self, location: GeoPoint, ts: float) -> int:
+        """Demand count of the zone containing ``location`` in the hour of ``ts``."""
+        return self._counts.get(self._key(location, ts), 0)
+
+    def hottest_zones(self, ts: float, top: int = 3) -> List[Tuple[GeoPoint, int]]:
+        """The ``top`` busiest zone centres for the hour containing ``ts``."""
+        if top < 1:
+            raise ValueError("top must be >= 1")
+        hour = self._hour(ts)
+        cells = [
+            ((row, col), count)
+            for (row, col, h), count in self._counts.items()
+            if h == hour and count > 0
+        ]
+        cells.sort(key=lambda item: -item[1])
+        centres: List[Tuple[GeoPoint, int]] = []
+        zone_boxes = self.bounding_box.split(self.rows, self.cols)
+        for (row, col), count in cells[:top]:
+            centres.append((zone_boxes[row * self.cols + col].center, count))
+        return centres
+
+    def total_demand(self) -> int:
+        return sum(self._counts.values())
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _hour(self, ts: float) -> int:
+        return int(ts // 3600.0)
+
+    def _key(self, location: GeoPoint, ts: float) -> Tuple[int, int, int]:
+        row, col = self.bounding_box.cell_index(location, self.rows, self.cols)
+        return (row, col, self._hour(ts))
+
+
+@dataclass(frozen=True, slots=True)
+class RepositioningMove:
+    """A suggested empty drive for an idle driver."""
+
+    target: GeoPoint
+    depart_ts: float
+
+
+class RepositioningPolicy(abc.ABC):
+    """Decides whether (and where) an idle driver should reposition."""
+
+    @abc.abstractmethod
+    def suggest(self, state: DriverState, now_ts: float) -> Optional[RepositioningMove]:
+        """A move for ``state`` at time ``now_ts``, or ``None`` to stay put."""
+
+
+@dataclass
+class NoRepositioning(RepositioningPolicy):
+    """Baseline: idle drivers wait where they are."""
+
+    def suggest(self, state: DriverState, now_ts: float) -> Optional[RepositioningMove]:
+        return None
+
+
+@dataclass
+class HotspotRepositioning(RepositioningPolicy):
+    """Move long-idle drivers towards the busiest reachable demand zone.
+
+    Parameters
+    ----------
+    heatmap:
+        The demand forecast.
+    travel_model:
+        Used to estimate the repositioning drive and to check the driver can
+        still reach her own destination afterwards.
+    idle_threshold_s:
+        Only drivers idle for at least this long are repositioned.
+    max_drive_km:
+        Never reposition further than this (empty kilometres are expensive).
+    improvement_factor:
+        The target zone must have at least this many times the demand of the
+        driver's current zone to justify the move.
+    """
+
+    heatmap: DemandHeatmap
+    travel_model: object
+    idle_threshold_s: float = 600.0
+    max_drive_km: float = 5.0
+    improvement_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.idle_threshold_s < 0:
+            raise ValueError("idle_threshold_s must be non-negative")
+        if self.max_drive_km <= 0:
+            raise ValueError("max_drive_km must be positive")
+        if self.improvement_factor < 1.0:
+            raise ValueError("improvement_factor must be >= 1")
+
+    def suggest(self, state: DriverState, now_ts: float) -> Optional[RepositioningMove]:
+        if state.locked:
+            return None
+        driver = state.driver
+        if now_ts < driver.start_ts:
+            return None
+        idle_for = now_ts - max(state.free_at, driver.start_ts)
+        if idle_for < self.idle_threshold_s:
+            return None
+
+        current_demand = self.heatmap.demand_at(state.location, now_ts)
+        for target, demand in self.heatmap.hottest_zones(now_ts, top=3):
+            if demand < self.improvement_factor * max(1, current_demand):
+                continue
+            drive_km = self.travel_model.distance_km(state.location, target)
+            if drive_km > self.max_drive_km or drive_km < 0.2:
+                continue
+            drive_s = self.travel_model.time_for_distance_s(drive_km)
+            home_s = self.travel_model.travel_time_s(target, driver.destination)
+            if now_ts + drive_s + home_s > driver.end_ts:
+                continue
+            return RepositioningMove(target=target, depart_ts=now_ts)
+        return None
+
+
+def apply_repositioning(
+    policy: RepositioningPolicy,
+    states: Iterable[DriverState],
+    now_ts: float,
+    travel_model,
+) -> int:
+    """Apply a policy to every idle driver; returns how many moved.
+
+    The empty drive is charged to the driver's running profit and her
+    location / free-at time advance to the target, exactly as an approach
+    drive would.
+    """
+    moved = 0
+    for state in states:
+        move = policy.suggest(state, now_ts)
+        if move is None:
+            continue
+        distance = travel_model.distance_km(state.location, move.target)
+        state.running_profit -= travel_model.cost_for_distance(distance)
+        state.location = move.target
+        state.free_at = move.depart_ts + travel_model.time_for_distance_s(distance)
+        moved += 1
+    return moved

@@ -1,0 +1,20 @@
+"""Pricing substrate: fare schedules, surge pricing, willingness-to-pay models."""
+
+from .base import PricingPolicy, RideQuote
+from .linear import FareSchedule, LinearPricing
+from .surge import SurgeConfig, SurgeEngine, SurgePricing
+from .wtp import ExactWtp, ProportionalWtp, TimeValueWtp, WtpModel
+
+__all__ = [
+    "PricingPolicy",
+    "RideQuote",
+    "FareSchedule",
+    "LinearPricing",
+    "SurgeConfig",
+    "SurgeEngine",
+    "SurgePricing",
+    "WtpModel",
+    "ExactWtp",
+    "ProportionalWtp",
+    "TimeValueWtp",
+]

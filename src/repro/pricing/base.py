@@ -1,0 +1,54 @@
+"""Pricing-policy interface.
+
+The paper treats the task price ``p_m`` as an attribute computed by the
+platform's pricing mechanism (Section III-A): "no matter what pricing
+mechanism the platform adopts, the system calculates the price of the task and
+publishes [it] to both its customers and drivers, therefore price p_m can be
+treated as a constant attribute of a given task".
+
+A :class:`PricingPolicy` therefore maps the observable attributes of a ride
+request — distance, duration, pickup location and time — to a price.  Concrete
+policies live in :mod:`repro.pricing.linear` and :mod:`repro.pricing.surge`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..geo import GeoPoint
+
+
+@dataclass(frozen=True, slots=True)
+class RideQuote:
+    """The observable attributes of a ride request used for pricing."""
+
+    origin: GeoPoint
+    destination: GeoPoint
+    distance_km: float
+    duration_s: float
+    request_ts: float
+
+    def __post_init__(self) -> None:
+        if self.distance_km < 0:
+            raise ValueError("distance_km must be non-negative")
+        if self.duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+
+
+class PricingPolicy(abc.ABC):
+    """Maps a :class:`RideQuote` to a task price ``p_m``."""
+
+    @abc.abstractmethod
+    def price(self, quote: RideQuote) -> float:
+        """The price (driver payoff) for this ride request."""
+
+    def surge_multiplier(self, quote: RideQuote) -> float:
+        """The surge multiplier ``alpha_m`` applied to this quote.
+
+        Policies without dynamic pricing return 1.0.
+        """
+        return 1.0
+
+    def __call__(self, quote: RideQuote) -> float:
+        return self.price(quote)

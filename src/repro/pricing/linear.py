@@ -1,0 +1,60 @@
+"""Linear fare model — Eq. (15) of the paper.
+
+``p_m = alpha_m * (beta1 * dis(s̄_m, d̄_m) + beta2 * (t̄⁺_m − t̄⁻_m))``
+
+where ``beta1`` and ``beta2`` are global constants and ``alpha_m`` is the
+surge multiplier.  With a static multiplier this is the classic
+distance-plus-time taxi fare; the dynamic multiplier variant lives in
+:mod:`repro.pricing.surge`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import PricingPolicy, RideQuote
+
+
+@dataclass(frozen=True, slots=True)
+class FareSchedule:
+    """The global fare constants of Eq. (15).
+
+    ``beta1`` is the per-kilometre rate, ``beta2`` the per-second rate and
+    ``base_fare`` an optional flag-fall added to every trip (zero in the
+    paper's simplified model).  The defaults approximate Porto taxi fares:
+    0.80 currency units per km and 0.30 per minute.
+    """
+
+    beta1_per_km: float = 0.80
+    beta2_per_s: float = 0.30 / 60.0
+    base_fare: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.beta1_per_km < 0 or self.beta2_per_s < 0 or self.base_fare < 0:
+            raise ValueError("fare constants must be non-negative")
+        if self.beta1_per_km == 0 and self.beta2_per_s == 0 and self.base_fare == 0:
+            raise ValueError("a fare schedule must charge something")
+
+    def fare(self, distance_km: float, duration_s: float) -> float:
+        """The un-surged fare for a trip."""
+        if distance_km < 0 or duration_s < 0:
+            raise ValueError("distance and duration must be non-negative")
+        return self.base_fare + self.beta1_per_km * distance_km + self.beta2_per_s * duration_s
+
+
+@dataclass(frozen=True, slots=True)
+class LinearPricing(PricingPolicy):
+    """Eq. (15) with a fixed surge multiplier ``alpha``."""
+
+    schedule: FareSchedule = FareSchedule()
+    alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError("surge multiplier must be positive")
+
+    def price(self, quote: RideQuote) -> float:
+        return self.alpha * self.schedule.fare(quote.distance_km, quote.duration_s)
+
+    def surge_multiplier(self, quote: RideQuote) -> float:
+        return self.alpha

@@ -1,0 +1,86 @@
+"""Willingness-to-pay (WTP) models.
+
+The social-welfare objective (Eq. 6) needs the customer valuation ``b_m``;
+the paper notes that "it is always hard to accurately estimate a certain
+customer's WTP for a ride" and that a task is only published when
+``b_m >= p_m``.  These models generate synthetic-but-plausible valuations so
+the social-welfare pipeline can be exercised end to end: every generated WTP
+is at least the quoted price, which keeps every task publishable.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+
+from .base import RideQuote
+
+
+class WtpModel(abc.ABC):
+    """Maps a quote and its price to a customer valuation ``b_m >= p_m``."""
+
+    @abc.abstractmethod
+    def valuation(self, quote: RideQuote, price: float, rng: random.Random) -> float:
+        """The customer's willingness to pay for this ride."""
+
+
+@dataclass(frozen=True, slots=True)
+class ProportionalWtp(WtpModel):
+    """``b_m = p_m * (1 + U[0, markup])`` — a uniform relative surplus.
+
+    The default 30% maximum markup reflects the consumer-surplus estimates in
+    the UberX literature (Cohen et al.), where the average rider values the
+    trip noticeably above the fare.
+    """
+
+    max_markup: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.max_markup < 0:
+            raise ValueError("max_markup must be non-negative")
+
+    def valuation(self, quote: RideQuote, price: float, rng: random.Random) -> float:
+        if price < 0:
+            raise ValueError("price must be non-negative")
+        return price * (1.0 + rng.uniform(0.0, self.max_markup))
+
+
+@dataclass(frozen=True, slots=True)
+class ExactWtp(WtpModel):
+    """``b_m = p_m`` — zero consumer surplus.
+
+    With this model the social-welfare objective (Eq. 6) collapses to the
+    drivers'-profit objective (Eq. 4), which is the simplification the paper
+    itself adopts for its evaluation.
+    """
+
+    def valuation(self, quote: RideQuote, price: float, rng: random.Random) -> float:
+        if price < 0:
+            raise ValueError("price must be non-negative")
+        return price
+
+
+@dataclass(frozen=True, slots=True)
+class TimeValueWtp(WtpModel):
+    """Valuation derived from the rider's value of time.
+
+    ``b_m = max(p_m, value_of_time_per_h * duration_h * convenience)`` —
+    riders value the ride by the time it would otherwise cost them, scaled by
+    a convenience factor, floored at the price so the task stays publishable.
+    """
+
+    value_of_time_per_h: float = 12.0
+    convenience: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.value_of_time_per_h <= 0:
+            raise ValueError("value_of_time_per_h must be positive")
+        if self.convenience <= 0:
+            raise ValueError("convenience must be positive")
+
+    def valuation(self, quote: RideQuote, price: float, rng: random.Random) -> float:
+        if price < 0:
+            raise ValueError("price must be non-negative")
+        time_value = self.value_of_time_per_h * (quote.duration_s / 3600.0) * self.convenience
+        return max(price, time_value)

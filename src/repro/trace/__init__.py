@@ -1,0 +1,74 @@
+"""Trace substrate: trip records, Porto loader, synthetic generation, cleaning."""
+
+from .records import DriverShift, TripRecord, shifts_from_trips, slice_by_time
+from .powerlaw import (
+    PowerLawDistribution,
+    complementary_cdf,
+    fit_power_law_mle,
+    tail_heaviness,
+)
+from .porto import (
+    PORTO_FLEET_SIZE,
+    PORTO_SAMPLE_INTERVAL_S,
+    PortoFormatError,
+    PortoRow,
+    iter_porto_rows,
+    load_porto_trips,
+    parse_polyline,
+    parse_row,
+    row_to_trip,
+    write_porto_csv,
+)
+from .cleaning import (
+    CleaningConfig,
+    CleaningReport,
+    clean_trips,
+    first_n_by_time,
+    sample_day,
+)
+from .synthetic import (
+    DIURNAL_WEIGHTS,
+    PortoLikeTraceGenerator,
+    TraceConfig,
+    generate_trace,
+)
+from .drivers import (
+    DriverGenerationConfig,
+    DriverScheduleGenerator,
+    WorkingModel,
+    generate_drivers,
+)
+
+__all__ = [
+    "TripRecord",
+    "DriverShift",
+    "shifts_from_trips",
+    "slice_by_time",
+    "PowerLawDistribution",
+    "fit_power_law_mle",
+    "complementary_cdf",
+    "tail_heaviness",
+    "PortoFormatError",
+    "PortoRow",
+    "PORTO_FLEET_SIZE",
+    "PORTO_SAMPLE_INTERVAL_S",
+    "parse_polyline",
+    "parse_row",
+    "row_to_trip",
+    "iter_porto_rows",
+    "load_porto_trips",
+    "write_porto_csv",
+    "CleaningConfig",
+    "CleaningReport",
+    "clean_trips",
+    "sample_day",
+    "first_n_by_time",
+    "TraceConfig",
+    "DIURNAL_WEIGHTS",
+    "PortoLikeTraceGenerator",
+    "generate_trace",
+    "DriverGenerationConfig",
+    "DriverScheduleGenerator",
+    "WorkingModel",
+    "generate_drivers",
+]

@@ -1,0 +1,184 @@
+"""Loader for the ECML/PKDD-15 Porto taxi trace (Kaggle ``train.csv``).
+
+The paper's evaluation uses this trace: a full year (2013-07-01 to
+2014-06-30) of trips for the 442 taxis of Porto, Portugal.  The raw file is
+not redistributable and is not available in this offline environment, so the
+default workload is the synthetic generator in :mod:`repro.trace.synthetic`;
+this module lets users who have downloaded the Kaggle file plug the real data
+into the exact same pipeline.
+
+File format (comma-separated, quoted strings)::
+
+    TRIP_ID, CALL_TYPE, ORIGIN_CALL, ORIGIN_STAND, TAXI_ID, TIMESTAMP,
+    DAY_TYPE, MISSING_DATA, POLYLINE
+
+``POLYLINE`` is a JSON list of ``[lon, lat]`` pairs sampled every 15 seconds.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+from ..geo import GeoPoint
+from .records import TripRecord
+
+#: Number of taxis in the Porto trace, as reported by the paper.
+PORTO_FLEET_SIZE = 442
+
+#: GPS sampling interval of the Porto trace, in seconds.
+PORTO_SAMPLE_INTERVAL_S = 15.0
+
+
+class PortoFormatError(ValueError):
+    """Raised when a row of the Porto CSV cannot be parsed."""
+
+
+@dataclass(frozen=True, slots=True)
+class PortoRow:
+    """A parsed raw row of the Porto CSV, before conversion to a trip."""
+
+    trip_id: str
+    call_type: str
+    taxi_id: str
+    timestamp: float
+    day_type: str
+    missing_data: bool
+    polyline: Sequence[GeoPoint]
+
+
+def parse_polyline(raw: str) -> List[GeoPoint]:
+    """Parse the ``POLYLINE`` JSON column into a list of points.
+
+    The Kaggle file stores coordinates as ``[longitude, latitude]`` pairs.
+    """
+    try:
+        pairs = json.loads(raw) if raw.strip() else []
+    except json.JSONDecodeError as exc:
+        raise PortoFormatError(f"invalid POLYLINE JSON: {exc}") from exc
+    points: List[GeoPoint] = []
+    for pair in pairs:
+        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+            raise PortoFormatError(f"invalid polyline element {pair!r}")
+        lon, lat = float(pair[0]), float(pair[1])
+        points.append(GeoPoint(lat, lon))
+    return points
+
+
+def parse_row(row: dict) -> PortoRow:
+    """Parse one csv.DictReader row into a :class:`PortoRow`."""
+    try:
+        return PortoRow(
+            trip_id=row["TRIP_ID"],
+            call_type=row.get("CALL_TYPE", ""),
+            taxi_id=row["TAXI_ID"],
+            timestamp=float(row["TIMESTAMP"]),
+            day_type=row.get("DAY_TYPE", ""),
+            missing_data=row.get("MISSING_DATA", "False").strip().lower() == "true",
+            polyline=parse_polyline(row.get("POLYLINE", "[]")),
+        )
+    except KeyError as exc:
+        raise PortoFormatError(f"missing column {exc}") from exc
+    except ValueError as exc:
+        if isinstance(exc, PortoFormatError):
+            raise
+        raise PortoFormatError(str(exc)) from exc
+
+
+def row_to_trip(row: PortoRow) -> Optional[TripRecord]:
+    """Convert a parsed row into a :class:`TripRecord`.
+
+    Returns ``None`` for rows that cannot produce a usable trip (flagged as
+    missing data, or with fewer than two GPS samples) — the same rows the
+    paper's pandas cleaning step discards.
+    """
+    if row.missing_data:
+        return None
+    if len(row.polyline) < 2:
+        return None
+    return TripRecord.from_polyline(
+        trip_id=row.trip_id,
+        driver_id=str(row.taxi_id),
+        start_ts=row.timestamp,
+        polyline=row.polyline,
+        sample_interval_s=PORTO_SAMPLE_INTERVAL_S,
+    )
+
+
+def iter_porto_rows(path: Union[str, Path]) -> Iterator[PortoRow]:
+    """Stream raw rows from a Porto-format CSV file."""
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        for raw in reader:
+            yield parse_row(raw)
+
+
+def load_porto_trips(
+    path: Union[str, Path],
+    limit: Optional[int] = None,
+) -> List[TripRecord]:
+    """Load trips from a Porto-format CSV, dropping unusable rows.
+
+    Parameters
+    ----------
+    path:
+        Path to a ``train.csv``-style file.
+    limit:
+        Optional maximum number of *usable* trips to return, handy for
+        sampling the 1.7-million-row file.
+    """
+    trips: List[TripRecord] = []
+    for row in iter_porto_rows(path):
+        trip = row_to_trip(row)
+        if trip is None:
+            continue
+        trips.append(trip)
+        if limit is not None and len(trips) >= limit:
+            break
+    return trips
+
+
+def trips_to_csv_rows(trips: Iterable[TripRecord]) -> Iterator[dict]:
+    """Serialise trips back to Porto-format dictionaries (for round-tripping
+    synthetic traces through the same tooling as the real data)."""
+    for trip in trips:
+        polyline = trip.polyline or (trip.origin, trip.destination)
+        yield {
+            "TRIP_ID": trip.trip_id,
+            "CALL_TYPE": "A",
+            "ORIGIN_CALL": "",
+            "ORIGIN_STAND": "",
+            "TAXI_ID": trip.driver_id,
+            "TIMESTAMP": str(int(trip.start_ts)),
+            "DAY_TYPE": "A",
+            "MISSING_DATA": "False",
+            "POLYLINE": json.dumps([[p.lon, p.lat] for p in polyline]),
+        }
+
+
+def write_porto_csv(trips: Iterable[TripRecord], path: Union[str, Path]) -> int:
+    """Write trips in Porto CSV format.  Returns the number of rows written."""
+    path = Path(path)
+    fieldnames = [
+        "TRIP_ID",
+        "CALL_TYPE",
+        "ORIGIN_CALL",
+        "ORIGIN_STAND",
+        "TAXI_ID",
+        "TIMESTAMP",
+        "DAY_TYPE",
+        "MISSING_DATA",
+        "POLYLINE",
+    ]
+    count = 0
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in trips_to_csv_rows(trips):
+            writer.writerow(row)
+            count += 1
+    return count

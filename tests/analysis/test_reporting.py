@@ -1,0 +1,50 @@
+"""Tests for text-table reporting."""
+
+import pytest
+
+from repro.analysis import format_metric_dict, format_series_table, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"], [["greedy", 1.23456], ["nearest", 2.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "greedy" in lines[2]
+        assert "1.235" in lines[2]
+
+    def test_column_width_accommodates_long_cells(self):
+        text = format_table(["x"], [["a-very-long-cell-value"]])
+        header, rule, row = text.splitlines()
+        assert len(header) == len(rule) == len(row)
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1.0]])
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[3.14159]], float_format="{:.1f}")
+        assert "3.1" in text
+        assert "3.14" not in text
+
+
+class TestFormatSeriesTable:
+    def test_layout_one_column_per_series(self):
+        text = format_series_table(
+            "drivers", [10, 20], {"Greedy": [1.0, 2.0], "Nearest": [3.0, 4.0]}
+        )
+        lines = text.splitlines()
+        assert "drivers" in lines[0]
+        assert "Greedy" in lines[0] and "Nearest" in lines[0]
+        assert len(lines) == 4
+
+    def test_series_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series_table("x", [1, 2], {"a": [1.0]})
+
+
+class TestFormatMetricDict:
+    def test_renders_floats_and_other_values(self):
+        text = format_metric_dict({"ratio": 1.23456, "count": 7})
+        assert "ratio: 1.235" in text
+        assert "count: 7" in text

@@ -1,0 +1,124 @@
+"""Tests for MarketSolution, DriverPlan and the objective helpers."""
+
+import pytest
+
+from repro.core import (
+    InfeasibleSolutionError,
+    MarketSolution,
+    Objective,
+    assignment_value,
+    consumer_surplus,
+    path_value,
+    total_revenue,
+)
+
+from ..conftest import build_chain_instance, build_random_instance
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return build_chain_instance()
+
+
+class TestObjectives:
+    def test_enum_flags(self):
+        assert not Objective.DRIVERS_PROFIT.uses_valuation
+        assert Objective.SOCIAL_WELFARE.uses_valuation
+
+    def test_path_value_matches_task_map(self, chain):
+        expected = chain.task_map("chainer").path_profit([0, 1])
+        assert path_value(chain, "chainer", [0, 1]) == pytest.approx(expected)
+
+    def test_assignment_value_sums_paths(self, chain):
+        value = assignment_value(chain, {"chainer": [0, 1]})
+        assert value == pytest.approx(chain.task_map("chainer").path_profit([0, 1]))
+        assert assignment_value(chain, {}) == 0.0
+
+    def test_total_revenue_and_surplus(self, chain):
+        assignment = {"chainer": [0, 1]}
+        assert total_revenue(chain, assignment) == pytest.approx(10.0)
+        # No WTP recorded, so consumer surplus is zero.
+        assert consumer_surplus(chain, assignment) == pytest.approx(0.0)
+
+
+class TestMarketSolution:
+    def test_from_assignment_builds_all_plans(self, chain):
+        solution = MarketSolution.from_assignment(chain, {"chainer": (0, 1)})
+        assert len(solution.plans) == chain.driver_count
+        assert solution.plan_for("chainer").task_indices == (0, 1)
+        assert solution.plan_for("stranded").task_indices == ()
+        with pytest.raises(KeyError):
+            solution.plan_for("nobody")
+
+    def test_empty_solution(self, chain):
+        solution = MarketSolution.empty(chain)
+        assert solution.total_value == 0.0
+        assert solution.served_count == 0
+        assert solution.serve_rate == 0.0
+        assert solution.is_feasible()
+
+    def test_metrics(self, chain):
+        solution = MarketSolution.from_assignment(chain, {"chainer": (0, 1)})
+        assert solution.total_value == pytest.approx(10.0, rel=0.01)
+        assert solution.total_revenue == pytest.approx(10.0)
+        assert solution.served_count == 2
+        assert solution.serve_rate == pytest.approx(1.0)
+        assert solution.active_driver_count == 1
+        assert solution.revenue_per_driver() == pytest.approx(5.0)
+        assert solution.tasks_per_driver() == pytest.approx(1.0)
+        summary = solution.summary()
+        assert summary["total_value"] == pytest.approx(solution.total_value)
+        assert summary["serve_rate"] == pytest.approx(1.0)
+
+    def test_assignment_view_skips_idle_drivers(self, chain):
+        solution = MarketSolution.from_assignment(chain, {"chainer": (0,)})
+        assert solution.assignment() == {"chainer": (0,)}
+        assert solution.served_tasks() == {0}
+
+    def test_validate_accepts_feasible_solution(self, chain):
+        MarketSolution.from_assignment(chain, {"chainer": (0, 1)}).validate()
+
+    def test_validate_rejects_duplicate_task(self, chain):
+        solution = MarketSolution.from_assignment(chain, {"chainer": (0,)})
+        # Manually craft a conflicting solution: both drivers claim task 0.
+        bad = MarketSolution(
+            instance=chain,
+            plans=(
+                solution.plan_for("chainer"),
+                solution.plan_for("chainer"),
+            ),
+        )
+        with pytest.raises(InfeasibleSolutionError):
+            bad.validate()
+
+    def test_validate_rejects_infeasible_path(self, chain):
+        bad = MarketSolution.from_assignment(chain, {"stranded": (0,)})
+        with pytest.raises(InfeasibleSolutionError):
+            bad.validate()
+        # The idle plan for the same driver is fine.
+        MarketSolution.from_assignment(chain, {}).validate()
+
+    def test_validate_rejects_unknown_driver(self, chain):
+        from repro.core.solution import DriverPlan
+
+        bad = MarketSolution(instance=chain, plans=(DriverPlan("ghost", (0,), 1.0),))
+        with pytest.raises(InfeasibleSolutionError):
+            bad.validate()
+
+    def test_validate_rejects_reversed_chain(self, chain):
+        reversed_chain = MarketSolution.from_assignment(chain, {"chainer": (1, 0)})
+        with pytest.raises(InfeasibleSolutionError):
+            reversed_chain.validate()
+
+    def test_is_feasible_boolean(self, chain):
+        good = MarketSolution.from_assignment(chain, {"chainer": (0,)})
+        assert good.is_feasible()
+        from repro.core.solution import DriverPlan
+
+        bad = MarketSolution(instance=chain, plans=(DriverPlan("ghost", (), 0.0),))
+        assert not bad.is_feasible()
+
+    def test_serve_rate_on_empty_task_set(self):
+        instance = build_random_instance(task_count=5, driver_count=2, seed=20).with_tasks([])
+        solution = MarketSolution.empty(instance)
+        assert solution.serve_rate == 1.0

@@ -1,0 +1,99 @@
+"""Tests for the distributed coordinator and shard workers."""
+
+import pytest
+
+from repro.distributed import (
+    DistributedCoordinator,
+    ShardWorkRequest,
+    SpatialPartitioner,
+    solve_shard,
+)
+from repro.geo import PORTO
+from repro.offline import greedy_assignment
+
+from ..conftest import build_random_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return build_random_instance(task_count=60, driver_count=15, seed=37)
+
+
+class TestSolveShard:
+    def test_unknown_solver_rejected(self, instance):
+        plan = SpatialPartitioner(PORTO, 1, 1).partition(instance)
+        request = ShardWorkRequest(0, 1, 1, solver_name="simplex")
+        with pytest.raises(ValueError):
+            solve_shard(plan.shards[0], request)
+
+    @pytest.mark.parametrize("solver", ["greedy", "nearest", "maxMargin"])
+    def test_shard_result_consistency(self, instance, solver):
+        plan = SpatialPartitioner(PORTO, 2, 2).partition(instance)
+        shard = max(plan.shards, key=lambda s: s.task_count)
+        request = ShardWorkRequest(shard.spec.shard_id, shard.driver_count, shard.task_count, solver)
+        result = solve_shard(shard, request)
+        assert result.solver_name == solver
+        assert result.served_count == len({m for path in result.assignment.values() for m in path})
+        assert set(result.driver_profits) == set(result.assignment)
+        assert result.total_value == pytest.approx(sum(result.driver_profits.values()), rel=1e-6, abs=1e-6)
+        assert result.elapsed_s >= 0.0
+
+    def test_empty_shard(self, instance):
+        plan = SpatialPartitioner(PORTO, 8, 8).partition(instance)
+        empty = next(s for s in plan.shards if s.task_count == 0 or s.driver_count == 0)
+        request = ShardWorkRequest(empty.spec.shard_id, empty.driver_count, empty.task_count, "greedy")
+        result = solve_shard(empty, request)
+        assert result.assignment == {}
+        assert result.total_value == 0.0
+
+
+class TestCoordinator:
+    def test_invalid_solver_name(self):
+        with pytest.raises(ValueError):
+            DistributedCoordinator(SpatialPartitioner(PORTO, 1, 1), solver_name="cplex")
+
+    def test_single_shard_matches_unsharded_greedy(self, instance):
+        coordinator = DistributedCoordinator(SpatialPartitioner(PORTO, 1, 1), "greedy")
+        result = coordinator.solve(instance)
+        expected = greedy_assignment(instance)
+        assert result.solution.total_value == pytest.approx(expected.total_value, rel=1e-9)
+        assert result.report.shard_count == 1
+        result.solution.validate()
+
+    def test_sharded_solution_is_feasible_and_conflict_free(self, instance):
+        coordinator = DistributedCoordinator(SpatialPartitioner(PORTO, 3, 3), "greedy")
+        result = coordinator.solve(instance)
+        result.solution.validate()
+        assert result.report.shard_count == 9
+        assert result.report.total_value == pytest.approx(result.solution.total_value)
+        assert result.report.served_count == result.solution.served_count
+
+    def test_sharding_never_beats_global_greedy_by_much(self, instance):
+        """Sharding removes cross-shard chains; it should not create value out
+        of thin air (both solve the same objective with the same algorithm)."""
+        global_value = greedy_assignment(instance).total_value
+        sharded = DistributedCoordinator(SpatialPartitioner(PORTO, 3, 3), "greedy").solve(instance)
+        assert sharded.solution.total_value <= global_value * 1.2 + 1e-6
+
+    def test_parallel_mode_matches_sequential(self, instance):
+        partitioner = SpatialPartitioner(PORTO, 2, 2)
+        sequential = DistributedCoordinator(partitioner, "greedy", parallel=False).solve(instance)
+        parallel = DistributedCoordinator(partitioner, "greedy", parallel=True, max_workers=4).solve(
+            instance
+        )
+        assert parallel.solution.assignment() == sequential.solution.assignment()
+
+    def test_online_solver_merging(self, instance):
+        coordinator = DistributedCoordinator(SpatialPartitioner(PORTO, 2, 2), "maxMargin")
+        result = coordinator.solve(instance)
+        # Online shard plans carry simulator-computed profits.
+        assert result.solution.total_value == pytest.approx(
+            sum(r for r in result.report.per_shard_values), rel=1e-6
+        )
+        served = [m for plan in result.solution.plans for m in plan.task_indices]
+        assert len(served) == len(set(served))
+
+    def test_report_speedup_metric(self, instance):
+        result = DistributedCoordinator(SpatialPartitioner(PORTO, 2, 2), "greedy").solve(instance)
+        assert result.report.slowest_shard_s >= 0.0
+        assert result.report.critical_path_speedup >= 1.0 or result.report.slowest_shard_s == 0.0

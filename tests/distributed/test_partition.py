@@ -1,0 +1,75 @@
+"""Tests for the spatial market partitioner."""
+
+import pytest
+
+from repro.distributed import SpatialPartitioner, translate_assignment
+from repro.geo import PORTO
+
+from ..conftest import build_random_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return build_random_instance(task_count=60, driver_count=15, seed=33)
+
+
+class TestPartitioner:
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            SpatialPartitioner(PORTO, 0, 3)
+
+    def test_shard_count(self):
+        assert SpatialPartitioner(PORTO, 2, 3).shard_count == 6
+
+    def test_single_shard_contains_everything(self, instance):
+        plan = SpatialPartitioner(PORTO, 1, 1).partition(instance)
+        assert plan.shard_count == 1
+        shard = plan.shards[0]
+        assert shard.task_count == instance.task_count
+        assert shard.driver_count == instance.driver_count
+        assert plan.unassigned_tasks == ()
+
+    def test_tasks_partitioned_without_loss_or_duplication(self, instance):
+        plan = SpatialPartitioner(PORTO, 3, 3).partition(instance)
+        all_indices = [i for shard in plan.shards for i in shard.global_task_indices]
+        assert sorted(all_indices) == list(range(instance.task_count))
+
+    def test_drivers_partitioned_without_loss_or_duplication(self, instance):
+        plan = SpatialPartitioner(PORTO, 3, 3).partition(instance)
+        all_drivers = [d for shard in plan.shards for d in shard.global_driver_ids]
+        assert sorted(all_drivers) == sorted(d.driver_id for d in instance.drivers)
+
+    def test_tasks_routed_to_shard_of_their_pickup(self, instance):
+        partitioner = SpatialPartitioner(PORTO, 2, 2)
+        plan = partitioner.partition(instance)
+        for shard in plan.shards:
+            for local_index, global_index in enumerate(shard.global_task_indices):
+                task = instance.tasks[global_index]
+                assert partitioner.shard_index(task.source) == shard.spec.shard_id
+                # Local instance stores the same task object.
+                assert shard.instance.tasks[local_index].task_id == task.task_id
+
+    def test_shard_of_task_lookup(self, instance):
+        plan = SpatialPartitioner(PORTO, 2, 2).partition(instance)
+        shard_id = plan.shard_of_task(0)
+        assert 0 in plan.shards[shard_id].global_task_indices
+        with pytest.raises(KeyError):
+            plan.shard_of_task(10_000)
+
+    def test_shard_regions_tile_the_city(self, instance):
+        plan = SpatialPartitioner(PORTO, 2, 2).partition(instance)
+        total_area = sum(s.spec.region.area_km2() for s in plan.shards)
+        assert total_area == pytest.approx(PORTO.area_km2(), rel=0.01)
+
+
+class TestTranslateAssignment:
+    def test_local_indices_map_back_to_global(self, instance):
+        plan = SpatialPartitioner(PORTO, 2, 2).partition(instance)
+        shard = max(plan.shards, key=lambda s: s.task_count)
+        local_assignment = {"some-driver": (0,)}
+        translated = translate_assignment(shard, local_assignment)
+        assert translated == {"some-driver": (shard.global_task_indices[0],)}
+
+    def test_empty_assignment(self, instance):
+        plan = SpatialPartitioner(PORTO, 2, 2).partition(instance)
+        assert translate_assignment(plan.shards[0], {}) == {}

@@ -1,0 +1,136 @@
+"""Integration tests for the per-figure experiment modules (tiny scale)."""
+
+import pytest
+
+from repro.analysis import BoundKind
+from repro.experiments import (
+    ALGORITHM_NAMES,
+    GREEDY,
+    MAX_MARGIN,
+    NEAREST,
+    ExperimentConfig,
+    TINY_SCALE,
+    run_all,
+    run_distribution_experiment,
+    run_fig5,
+    run_market_insight_sweep,
+    run_partition_ablation,
+    run_surge_ablation,
+    standard_algorithms,
+)
+from repro.experiments.fig6_9 import FIGURE_METRICS
+from repro.trace import WorkingModel
+
+from ..conftest import build_random_instance
+
+TINY_CONFIG = ExperimentConfig(scale=TINY_SCALE)
+
+
+class TestAlgorithmRoster:
+    def test_roster_names(self):
+        assert ALGORITHM_NAMES == (GREEDY, MAX_MARGIN, NEAREST)
+        assert [spec.name for spec in standard_algorithms()] == list(ALGORITHM_NAMES)
+
+    def test_run_all_returns_comparable_results(self):
+        instance = build_random_instance(task_count=20, driver_count=6, seed=61)
+        results = run_all(instance)
+        assert set(results) == set(ALGORITHM_NAMES)
+        for result in results.values():
+            assert result.total_value >= 0.0
+            assert 0.0 <= result.serve_rate <= 1.0
+
+
+class TestDistributionExperiment:
+    def test_fig3_fig4_summaries(self):
+        result = run_distribution_experiment(TINY_CONFIG)
+        assert result.trip_count == TINY_SCALE.task_count
+        assert result.travel_time.heaviness > 1.5
+        assert result.travel_distance.heaviness > 1.5
+        rendered = result.render()
+        assert "Fig. 3" in rendered and "Fig. 4" in rendered
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5(config=TINY_CONFIG, bound_kind=BoundKind.LP_RELAXATION)
+
+    def test_structure(self, result):
+        assert result.driver_counts == TINY_SCALE.driver_counts
+        for point in result.points:
+            assert set(point.ratios) == set(ALGORITHM_NAMES)
+            assert point.upper_bound > 0.0
+
+    def test_ratios_at_least_one(self, result):
+        for name in ALGORITHM_NAMES:
+            for ratio in result.ratio_series(name):
+                assert ratio >= 1.0 - 1e-6
+
+    def test_greedy_beats_nearest_on_average(self, result):
+        assert result.mean_efficiency(GREEDY) >= result.mean_efficiency(NEAREST) - 1e-9
+
+    def test_render_contains_all_algorithms(self, result):
+        rendered = result.render()
+        for name in ALGORITHM_NAMES:
+            assert name in rendered
+
+    def test_home_work_home_variant_runs(self):
+        result = run_fig5(
+            config=ExperimentConfig(scale=TINY_SCALE, working_model=WorkingModel.HOME_WORK_HOME),
+            bound_kind=BoundKind.LAGRANGIAN,
+        )
+        assert result.working_model is WorkingModel.HOME_WORK_HOME
+        assert result.bound_kind is BoundKind.LAGRANGIAN
+        for name in ALGORITHM_NAMES:
+            assert all(r >= 1.0 - 1e-6 for r in result.ratio_series(name))
+
+
+class TestFig6To9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_market_insight_sweep(config=TINY_CONFIG)
+
+    def test_all_metrics_available(self, result):
+        for metric in FIGURE_METRICS:
+            series = result.figure_series(metric)
+            assert set(series) == set(ALGORITHM_NAMES)
+            assert all(len(v) == len(result.driver_counts) for v in series.values())
+
+    def test_fig6_revenue_grows_with_market_density(self, result):
+        for name in ALGORITHM_NAMES:
+            series = result.series(name, "total_revenue")
+            assert series.trend() >= 0.0
+
+    def test_fig7_serve_rate_grows_with_market_density(self, result):
+        for name in ALGORITHM_NAMES:
+            series = result.series(name, "serve_rate")
+            assert series.trend() >= 0.0
+            assert all(0.0 <= v <= 1.0 for v in series.values)
+
+    def test_fig8_fig9_congestion_declines(self, result):
+        for name in ALGORITHM_NAMES:
+            assert result.series(name, "revenue_per_driver").trend() <= 0.0
+            assert result.series(name, "tasks_per_driver").trend() <= 0.0
+
+    def test_render_all_mentions_each_figure(self, result):
+        text = result.render_all()
+        for figure in ("Fig. 6", "Fig. 7", "Fig. 8", "Fig. 9"):
+            assert figure in text
+
+
+class TestAblations:
+    def test_surge_ablation_monotone_profit(self):
+        result = run_surge_ablation(multipliers=(1.0, 1.5, 2.0), config=TINY_CONFIG)
+        profits = [p.total_profit for p in result.points]
+        assert profits == sorted(profits)
+        assert "alpha" in result.render()
+
+    def test_surge_ablation_invalid_multiplier(self):
+        with pytest.raises(ValueError):
+            run_surge_ablation(multipliers=(0.0,), config=TINY_CONFIG)
+
+    def test_partition_ablation_retention(self):
+        result = run_partition_ablation(grids=((1, 1), (2, 2)), config=TINY_CONFIG)
+        assert result.points[0].value_retention == pytest.approx(1.0, rel=1e-6)
+        assert 0.0 <= result.points[1].value_retention <= 1.05
+        assert "retention" in result.render()

@@ -1,0 +1,43 @@
+"""Smoke test for the one-call experiment runner."""
+
+import pytest
+
+from repro.analysis import BoundKind
+from repro.experiments import TINY_SCALE, run_everything
+
+
+@pytest.fixture(scope="module")
+def full_run():
+    # The Lagrangian bound keeps the tiny-scale full run fast.
+    return run_everything(scale=TINY_SCALE, bound_kind=BoundKind.LAGRANGIAN)
+
+
+class TestRunEverything:
+    def test_all_sections_present(self, full_run):
+        rendered = full_run.render()
+        for marker in (
+            "Fig. 3",
+            "Fig. 4",
+            "Fig. 5",
+            "Fig. 6",
+            "Fig. 9",
+            "Surge-multiplier ablation",
+            "Partitioning ablation",
+        ):
+            assert marker in rendered
+
+    def test_both_working_models_covered(self, full_run):
+        assert full_run.fig5_hitchhiking.working_model.value == "hitchhiking"
+        assert full_run.fig5_home_work_home.working_model.value == "home_work_home"
+
+    def test_ratios_respect_bounds(self, full_run):
+        for result in (full_run.fig5_hitchhiking, full_run.fig5_home_work_home):
+            for point in result.points:
+                for ratio in point.ratios.values():
+                    assert ratio >= 1.0 - 1e-6
+
+    def test_market_insights_trends(self, full_run):
+        insights = full_run.market_insights
+        for name in ("Greedy", "maxMargin", "Nearest"):
+            assert insights.series(name, "total_revenue").trend() >= 0.0
+            assert insights.series(name, "revenue_per_driver").trend() <= 0.0

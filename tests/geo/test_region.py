@@ -1,0 +1,126 @@
+"""Tests for repro.geo.region."""
+
+import random
+
+import pytest
+
+from repro.geo import PORTO, BoundingBox, GeoPoint, city_preset
+
+
+class TestBoundingBoxConstruction:
+    def test_invalid_latitude_order(self):
+        with pytest.raises(ValueError):
+            BoundingBox(south=2.0, west=0.0, north=1.0, east=1.0)
+
+    def test_invalid_longitude_order(self):
+        with pytest.raises(ValueError):
+            BoundingBox(south=0.0, west=5.0, north=1.0, east=4.0)
+
+    def test_corners_and_center(self):
+        box = BoundingBox(south=0.0, west=0.0, north=2.0, east=4.0)
+        assert box.south_west == GeoPoint(0.0, 0.0)
+        assert box.north_east == GeoPoint(2.0, 4.0)
+        assert box.center == GeoPoint(1.0, 2.0)
+
+
+class TestContainsAndClamp:
+    def test_contains_center_and_border(self):
+        assert PORTO.contains(PORTO.center)
+        assert PORTO.contains(PORTO.south_west)
+        assert PORTO.contains(PORTO.north_east)
+
+    def test_does_not_contain_outside_point(self):
+        assert not PORTO.contains(GeoPoint(40.0, -8.6))
+
+    def test_clamp_moves_point_inside(self):
+        outside = GeoPoint(45.0, -8.6)
+        clamped = PORTO.clamp(outside)
+        assert PORTO.contains(clamped)
+        assert clamped.lat == PORTO.north
+
+    def test_clamp_keeps_inside_point(self):
+        inside = PORTO.center
+        assert PORTO.clamp(inside) == inside
+
+
+class TestDimensions:
+    def test_porto_extent_is_city_scale(self):
+        assert 10.0 < PORTO.width_km() < 25.0
+        assert 10.0 < PORTO.height_km() < 25.0
+        assert PORTO.area_km2() == pytest.approx(PORTO.width_km() * PORTO.height_km())
+
+    def test_diagonal_exceeds_sides(self):
+        assert PORTO.diagonal_km() >= PORTO.width_km()
+        assert PORTO.diagonal_km() >= PORTO.height_km()
+
+
+class TestSampling:
+    def test_uniform_sample_inside(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            assert PORTO.contains(PORTO.sample_uniform(rng))
+
+    def test_gaussian_sample_inside(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            assert PORTO.contains(PORTO.sample_gaussian(rng))
+
+    def test_gaussian_sample_concentrates_near_center(self):
+        rng = random.Random(0)
+        center = PORTO.center
+        gauss = [PORTO.sample_gaussian(rng) for _ in range(300)]
+        uniform = [PORTO.sample_uniform(rng) for _ in range(300)]
+        mean_gauss = sum(center.haversine_km(p) for p in gauss) / len(gauss)
+        mean_uniform = sum(center.haversine_km(p) for p in uniform) / len(uniform)
+        assert mean_gauss < mean_uniform
+
+    def test_gaussian_requires_positive_sigma(self):
+        with pytest.raises(ValueError):
+            PORTO.sample_gaussian(random.Random(0), sigma_fraction=0.0)
+
+    def test_sampling_is_deterministic_given_seed(self):
+        a = PORTO.sample_uniform(random.Random(7))
+        b = PORTO.sample_uniform(random.Random(7))
+        assert a == b
+
+
+class TestSplit:
+    def test_split_counts(self):
+        assert len(PORTO.split(2, 3)) == 6
+
+    def test_split_cells_tile_the_box(self):
+        cells = PORTO.split(3, 3)
+        total_area = sum(c.area_km2() for c in cells)
+        assert total_area == pytest.approx(PORTO.area_km2(), rel=0.01)
+
+    def test_split_invalid(self):
+        with pytest.raises(ValueError):
+            PORTO.split(0, 2)
+
+    def test_cell_index_matches_split(self):
+        rng = random.Random(1)
+        cells = PORTO.split(4, 4)
+        for _ in range(100):
+            p = PORTO.sample_uniform(rng)
+            row, col = PORTO.cell_index(p, 4, 4)
+            assert cells[row * 4 + col].contains(p)
+
+    def test_cell_index_clamps_outside_points(self):
+        row, col = PORTO.cell_index(GeoPoint(0.0, 0.0), 4, 4)
+        assert 0 <= row < 4 and 0 <= col < 4
+
+    def test_iter_grid_centers(self):
+        centers = list(PORTO.iter_grid_centers(2, 2))
+        assert len(centers) == 4
+        assert all(PORTO.contains(c) for c in centers)
+
+
+class TestPresets:
+    def test_known_presets(self):
+        assert city_preset("porto") is PORTO
+        assert city_preset("  PORTO ") is PORTO
+        assert city_preset("nyc").contains(GeoPoint(40.75, -73.98))
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            city_preset("atlantis")

@@ -1,0 +1,128 @@
+"""Tests for JSON serialization of instances, solutions and outcomes."""
+
+import json
+
+import pytest
+
+from repro.geo import GeoPoint, ManhattanEstimator, TravelModel
+from repro.io import (
+    SerializationError,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_solution,
+    outcome_from_dict,
+    outcome_to_dict,
+    save_instance,
+    save_solution,
+    solution_from_dict,
+    solution_to_dict,
+    travel_model_from_dict,
+    travel_model_to_dict,
+)
+from repro.offline import greedy_assignment
+from repro.online import MaxMarginDispatcher, run_online
+
+from ..conftest import build_chain_instance, build_random_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return build_random_instance(task_count=25, driver_count=6, seed=101)
+
+
+class TestTravelModelRoundTrip:
+    def test_haversine_round_trip(self):
+        model = TravelModel(estimator=__import__("repro.geo", fromlist=["HaversineEstimator"]).HaversineEstimator(1.25), speed_kmh=28.0, cost_per_km=0.15)
+        data = travel_model_to_dict(model)
+        rebuilt = travel_model_from_dict(data)
+        assert rebuilt.speed_kmh == 28.0
+        assert rebuilt.cost_per_km == 0.15
+        assert rebuilt.estimator.circuity == 1.25
+
+    def test_manhattan_round_trip(self):
+        model = TravelModel(ManhattanEstimator(), speed_kmh=25.0, cost_per_km=0.2)
+        rebuilt = travel_model_from_dict(travel_model_to_dict(model))
+        assert isinstance(rebuilt.estimator, ManhattanEstimator)
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(SerializationError):
+            travel_model_from_dict({"estimator": "teleporter"})
+
+
+class TestInstanceRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, instance):
+        data = instance_to_dict(instance)
+        rebuilt = instance_from_dict(data)
+        assert rebuilt.driver_count == instance.driver_count
+        assert rebuilt.task_count == instance.task_count
+        for original, loaded in zip(instance.drivers, rebuilt.drivers):
+            assert original == loaded
+        for original, loaded in zip(instance.tasks, rebuilt.tasks):
+            assert original == loaded
+        assert (
+            rebuilt.cost_model.travel_model.speed_kmh
+            == instance.cost_model.travel_model.speed_kmh
+        )
+
+    def test_file_round_trip(self, instance, tmp_path):
+        path = tmp_path / "market.json"
+        save_instance(instance, path)
+        loaded = load_instance(path)
+        assert loaded.task_count == instance.task_count
+        # The JSON document itself is valid and self-describing.
+        raw = json.loads(path.read_text())
+        assert raw["format"] == "repro-market"
+
+    def test_round_trip_preserves_solver_results(self, instance, tmp_path):
+        """Solving the reloaded instance gives the same objective value."""
+        path = tmp_path / "market.json"
+        save_instance(instance, path)
+        loaded = load_instance(path)
+        assert greedy_assignment(loaded).total_value == pytest.approx(
+            greedy_assignment(instance).total_value, rel=1e-9
+        )
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializationError):
+            instance_from_dict({"format": "something-else", "version": 1})
+        with pytest.raises(SerializationError):
+            instance_from_dict({"format": "repro-market", "version": 999})
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(SerializationError):
+            instance_from_dict(
+                {"format": "repro-market", "version": 1, "drivers": [{"driver_id": "d"}], "tasks": []}
+            )
+
+
+class TestSolutionRoundTrip:
+    def test_solution_round_trip(self, instance, tmp_path):
+        solution = greedy_assignment(instance)
+        path = tmp_path / "solution.json"
+        save_solution(solution, path, algorithm="greedy")
+        loaded = load_solution(path, instance)
+        assert loaded.total_value == pytest.approx(solution.total_value, rel=1e-9)
+        assert loaded.assignment() == solution.assignment()
+        loaded.validate()
+        raw = json.loads(path.read_text())
+        assert raw["algorithm"] == "greedy"
+
+    def test_solution_wrong_format_rejected(self, instance):
+        with pytest.raises(SerializationError):
+            solution_from_dict({"format": "nope"}, instance)
+
+
+class TestOutcomeRoundTrip:
+    def test_outcome_round_trip(self, instance):
+        outcome = run_online(instance, MaxMarginDispatcher())
+        data = outcome_to_dict(outcome)
+        rebuilt = outcome_from_dict(data, instance)
+        assert rebuilt.total_value == pytest.approx(outcome.total_value, rel=1e-9)
+        assert rebuilt.assignment() == outcome.assignment()
+        assert rebuilt.rejected_tasks == outcome.rejected_tasks
+        assert rebuilt.dispatcher_name == outcome.dispatcher_name
+
+    def test_outcome_wrong_format_rejected(self, instance):
+        with pytest.raises(SerializationError):
+            outcome_from_dict({"format": "nope"}, instance)

@@ -1,0 +1,244 @@
+"""Tests for task-map construction (Eqs. 1-3 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.market import (
+    Driver,
+    MarketCostModel,
+    Task,
+    build_driver_task_map,
+    build_driver_task_maps,
+    build_task_network,
+)
+from repro.market.taskmap import SINK_NODE, SOURCE_NODE
+
+from ..conftest import build_chain_instance, build_random_instance, flat_travel_model, point_east
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return build_chain_instance()
+
+
+class TestTaskNetwork:
+    def test_empty_network(self):
+        network = build_task_network([], MarketCostModel(flat_travel_model()))
+        assert network.task_count == 0
+        assert network.arc_count() == 0
+
+    def test_servable_eq1(self):
+        cost_model = MarketCostModel(flat_travel_model())
+        # 5 km ride takes 600 s at 30 km/h; a 300 s window is not enough.
+        tight = Task(
+            task_id="tight",
+            publish_ts=0.0,
+            source=point_east(0.0),
+            destination=point_east(5.0),
+            start_deadline_ts=100.0,
+            end_deadline_ts=400.0,
+            price=5.0,
+            distance_km=5.0,
+        )
+        roomy = Task(
+            task_id="roomy",
+            publish_ts=0.0,
+            source=point_east(0.0),
+            destination=point_east(5.0),
+            start_deadline_ts=100.0,
+            end_deadline_ts=100.0 + 700.0,
+            price=5.0,
+            distance_km=5.0,
+        )
+        network = build_task_network([tight, roomy], cost_model)
+        assert not network.servable[0]
+        assert network.servable[1]
+
+    def test_chain_arc_exists_and_respects_time(self, chain):
+        network = chain.task_network
+        # Task 0 ends at km 5 where task 1 starts, with 300 s of slack: arc exists.
+        assert 1 in set(int(x) for x in network.successors[0])
+        # The reverse arc would require time travel.
+        assert 0 not in set(int(x) for x in network.successors[1])
+
+    def test_successor_leg_lookup(self, chain):
+        network = chain.task_network
+        leg = network.successor_leg(0, 1)
+        assert leg is not None
+        assert leg.time_s == pytest.approx(0.0, abs=1.0)  # same location
+        assert network.successor_leg(1, 0) is None
+
+    def test_topo_order_sorted_by_start_deadline(self, chain):
+        network = chain.task_network
+        deadlines = [chain.tasks[int(i)].start_deadline_ts for i in network.topo_order]
+        assert deadlines == sorted(deadlines)
+
+    def test_no_self_arcs(self):
+        instance = build_random_instance(task_count=25, driver_count=5, seed=8)
+        network = instance.task_network
+        for m, successors in enumerate(network.successors):
+            assert m not in set(int(x) for x in successors)
+
+    def test_arcs_only_between_servable_tasks(self):
+        instance = build_random_instance(task_count=40, driver_count=5, seed=9)
+        network = instance.task_network
+        for m, successors in enumerate(network.successors):
+            if successors.size and not network.servable[m]:
+                pytest.fail(f"unservable task {m} has outgoing arcs")
+            for m_prime in (int(x) for x in successors):
+                assert network.servable[m_prime]
+
+    def test_arc_time_feasibility_invariant(self):
+        """Every arc m -> m' must satisfy leg_time <= start'(m') - end(m)."""
+        instance = build_random_instance(task_count=40, driver_count=5, seed=10)
+        network = instance.task_network
+        for m, successors in enumerate(network.successors):
+            end_m = instance.tasks[m].end_deadline_ts
+            for j, m_prime in enumerate(int(x) for x in successors):
+                slack = instance.tasks[m_prime].start_deadline_ts - end_m
+                assert network.leg_times[m][j] <= slack + 1e-6
+
+
+class TestDriverTaskMap:
+    def test_chainer_sees_both_tasks(self, chain):
+        task_map = chain.task_map("chainer")
+        assert set(int(x) for x in task_map.entry_tasks()) == {0, 1}
+        assert set(int(x) for x in task_map.usable_tasks()) == {0, 1}
+        assert task_map.has_any_task()
+
+    def test_stranded_driver_sees_nothing(self, chain):
+        task_map = chain.task_map("stranded")
+        assert task_map.entry_tasks().size == 0
+        assert task_map.usable_tasks().size == 0
+        assert not task_map.has_any_task()
+
+    def test_arc_exists_queries(self, chain):
+        task_map = chain.task_map("chainer")
+        assert task_map.arc_exists(SOURCE_NODE, 0)
+        assert task_map.arc_exists(0, 1)
+        assert task_map.arc_exists(1, SINK_NODE)
+        assert task_map.arc_exists(SOURCE_NODE, SINK_NODE)
+        assert not task_map.arc_exists(1, 0)
+
+    def test_successors_respect_allowed_mask(self, chain):
+        task_map = chain.task_map("chainer")
+        allowed = np.array([True, False])
+        assert list(task_map.successors_of(0, allowed)) == []
+        allowed = np.array([True, True])
+        assert [int(x) for x in task_map.successors_of(0, allowed)] == [1]
+
+    def test_eq2_source_arc_requires_reaching_pickup_in_time(self):
+        """A driver whose shift starts too late cannot enter a task."""
+        cost_model = MarketCostModel(flat_travel_model())
+        task = Task(
+            task_id="m",
+            publish_ts=0.0,
+            source=point_east(5.0),
+            destination=point_east(10.0),
+            start_deadline_ts=1000.0,
+            end_deadline_ts=2000.0,
+            price=5.0,
+            distance_km=5.0,
+        )
+        network = build_task_network([task], cost_model)
+        # 5 km approach takes 600 s.  Starting at 300 -> arrives 900 <= 1000: ok.
+        early = Driver("early", point_east(0.0), point_east(10.0), 300.0, 4000.0)
+        # Starting at 500 -> arrives 1100 > 1000: no entry arc.
+        late = Driver("late", point_east(0.0), point_east(10.0), 500.0, 4000.0)
+        early_map = build_driver_task_map(early, network, cost_model)
+        late_map = build_driver_task_map(late, network, cost_model)
+        assert early_map.entry_ok[0]
+        assert not late_map.entry_ok[0]
+
+    def test_eq3_sink_arc_requires_reaching_home_in_time(self):
+        """A driver who cannot reach her destination after the task cannot use it."""
+        cost_model = MarketCostModel(flat_travel_model())
+        task = Task(
+            task_id="m",
+            publish_ts=0.0,
+            source=point_east(0.0),
+            destination=point_east(5.0),
+            start_deadline_ts=1000.0,
+            end_deadline_ts=1800.0,
+            price=5.0,
+            distance_km=5.0,
+        )
+        network = build_task_network([task], cost_model)
+        # From the drop-off (km 5) home to km 10 takes 600 s after the 1800 s deadline.
+        relaxed = Driver("relaxed", point_east(0.0), point_east(10.0), 0.0, 2500.0)
+        hurried = Driver("hurried", point_east(0.0), point_east(10.0), 0.0, 2300.0)
+        assert build_driver_task_map(relaxed, network, cost_model).exit_ok[0]
+        assert not build_driver_task_map(hurried, network, cost_model).exit_ok[0]
+
+    def test_build_driver_task_maps_rejects_duplicates(self, chain):
+        driver = chain.drivers[0]
+        with pytest.raises(ValueError):
+            build_driver_task_maps([driver, driver], chain.task_network, chain.cost_model)
+
+    def test_empty_network_driver_map(self):
+        cost_model = MarketCostModel(flat_travel_model())
+        network = build_task_network([], cost_model)
+        driver = Driver("d", point_east(0.0), point_east(1.0), 0.0, 100.0)
+        task_map = build_driver_task_map(driver, network, cost_model)
+        assert task_map.task_count == 0
+        assert not task_map.has_any_task()
+        assert task_map.path_profit(()) == 0.0
+
+
+class TestPathEvaluation:
+    def test_empty_path_profit_zero(self, chain):
+        task_map = chain.task_map("chainer")
+        assert task_map.path_profit([]) == 0.0
+        assert task_map.path_excess_cost([]) == 0.0
+
+    def test_single_task_profit_arithmetic(self, chain):
+        """Chainer lives at task 0's source; her destination is at km 10.
+
+        Taking only task 0 (km 0 -> 5): she pockets the price, pays the ride
+        cost, pays the 5 km empty leg to her destination, and is credited the
+        10 km she would have driven anyway: 5 - 0.6 - 0.6 + 1.2 = 5.0.
+        """
+        task_map = chain.task_map("chainer")
+        profit = task_map.path_profit([0])
+        assert profit == pytest.approx(5.0, rel=0.01)
+
+    def test_chain_profit_arithmetic(self, chain):
+        """Both tasks cover her entire route, so she pockets both prices."""
+        task_map = chain.task_map("chainer")
+        profit = task_map.path_profit([0, 1])
+        assert profit == pytest.approx(10.0, rel=0.01)
+
+    def test_excess_cost_of_chain_is_zero(self, chain):
+        task_map = chain.task_map("chainer")
+        assert task_map.path_excess_cost([0, 1]) == pytest.approx(0.0, abs=0.02)
+
+    def test_profit_plus_excess_cost_equals_prices(self, chain):
+        """By Eq. (4), profit = sum of prices - excess cost for any path."""
+        task_map = chain.task_map("chainer")
+        for path in ([0], [1], [0, 1]):
+            prices = sum(chain.tasks[m].price for m in path)
+            assert task_map.path_profit(path) == pytest.approx(
+                prices - task_map.path_excess_cost(path), rel=1e-9
+            )
+
+    def test_social_welfare_uses_valuation(self, chain):
+        task_map = chain.task_map("chainer")
+        # No WTP recorded: valuation == price, so both objectives coincide.
+        assert task_map.path_profit([0, 1], use_valuation=True) == pytest.approx(
+            task_map.path_profit([0, 1])
+        )
+
+    def test_feasibility_checks(self, chain):
+        task_map = chain.task_map("chainer")
+        assert task_map.is_feasible_path([])
+        assert task_map.is_feasible_path([0])
+        assert task_map.is_feasible_path([0, 1])
+        assert not task_map.is_feasible_path([1, 0])
+        assert not task_map.is_feasible_path([0, 0])
+        stranded_map = chain.task_map("stranded")
+        assert not stranded_map.is_feasible_path([0])
+
+    def test_path_profit_rejects_missing_arc(self, chain):
+        task_map = chain.task_map("chainer")
+        with pytest.raises(ValueError):
+            task_map.path_profit([1, 0])

@@ -1,0 +1,113 @@
+"""Tests for the batched (rolling-horizon) dispatcher."""
+
+import pytest
+
+from repro.offline import exact_optimum, greedy_assignment
+from repro.online import (
+    BatchConfig,
+    BatchedSimulator,
+    MaxMarginDispatcher,
+    run_batched,
+    run_online,
+)
+
+from ..conftest import build_chain_instance, build_random_instance
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return build_chain_instance()
+
+
+@pytest.fixture(scope="module")
+def random_instance():
+    return build_random_instance(task_count=40, driver_count=10, seed=81)
+
+
+class TestBatchConfig:
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            BatchConfig(window_s=0.0)
+
+    def test_defaults(self):
+        cfg = BatchConfig()
+        assert cfg.window_s == 60.0
+        assert cfg.require_positive_margin
+        assert cfg.allow_retries
+
+
+class TestBatchedOnChainInstance:
+    def test_serves_both_tasks(self, chain):
+        outcome = run_batched(chain, window_s=120.0)
+        assert outcome.record_for("chainer").task_indices == (0, 1)
+        assert outcome.total_value == pytest.approx(10.0, rel=0.02)
+        assert outcome.dispatcher_name == "batched"
+
+    def test_overly_wide_window_misses_deadlines(self, chain):
+        # Batching is a latency/quality trade-off: with a window far longer
+        # than the publish lead, the batch is dispatched only after the pickup
+        # deadlines have passed and the orders are lost.
+        outcome = run_batched(chain, window_s=10_000.0)
+        assert outcome.served_count == 0
+        assert set(outcome.rejected_tasks) == {0, 1}
+
+    def test_window_matched_to_publish_lead_serves_everything(self, chain):
+        # Publish lead in the chain instance is 600 s; a 300 s window keeps
+        # every dispatch ahead of its pickup deadline.
+        outcome = run_batched(chain, window_s=300.0)
+        assert outcome.served_count == 2
+
+
+class TestBatchedInvariants:
+    @pytest.mark.parametrize("window_s", [30.0, 120.0, 600.0])
+    def test_no_task_served_twice(self, random_instance, window_s):
+        outcome = run_batched(random_instance, window_s=window_s)
+        served = [m for r in outcome.records for m in r.task_indices]
+        assert len(served) == len(set(served))
+
+    def test_served_plus_rejected_cover_all_tasks(self, random_instance):
+        outcome = run_batched(random_instance, window_s=60.0)
+        assert outcome.served_count + len(outcome.rejected_tasks) == random_instance.task_count
+
+    def test_each_chain_is_a_feasible_offline_path(self, random_instance):
+        outcome = run_batched(random_instance, window_s=60.0)
+        for record in outcome.records:
+            task_map = random_instance.task_map(record.driver_id)
+            assert task_map.is_feasible_path(record.task_indices)
+
+    def test_bounded_by_exact_optimum(self):
+        instance = build_random_instance(task_count=18, driver_count=5, seed=83)
+        optimum = exact_optimum(instance).optimum
+        outcome = run_batched(instance, window_s=90.0)
+        assert outcome.total_value <= optimum + 1e-6
+
+    def test_drivers_never_lose_money(self, random_instance):
+        outcome = run_batched(random_instance, window_s=60.0)
+        for record in outcome.records:
+            if record.task_indices:
+                assert record.profit > -1e-6
+
+    def test_no_retries_rejects_leftovers(self, random_instance):
+        with_retries = BatchedSimulator(random_instance, BatchConfig(window_s=30.0)).run()
+        without = BatchedSimulator(
+            random_instance, BatchConfig(window_s=30.0, allow_retries=False)
+        ).run()
+        assert without.served_count <= with_retries.served_count
+
+    def test_deterministic(self, random_instance):
+        a = run_batched(random_instance, window_s=60.0)
+        b = run_batched(random_instance, window_s=60.0)
+        assert a.assignment() == b.assignment()
+
+
+class TestBatchedVsPerOrder:
+    def test_batching_competitive_with_max_margin(self, random_instance):
+        """Pooling a window of orders should not be dramatically worse than
+        the per-order maxMargin rule, and usually helps."""
+        per_order = run_online(random_instance, MaxMarginDispatcher())
+        batched = run_batched(random_instance, window_s=120.0)
+        assert batched.total_value >= 0.6 * per_order.total_value
+
+    def test_tiny_windows_degenerate_to_per_order_behaviour(self, random_instance):
+        tiny = run_batched(random_instance, window_s=1.0)
+        assert tiny.served_count > 0

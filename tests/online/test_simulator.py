@@ -1,0 +1,181 @@
+"""Tests for the event-driven online simulator (Algorithms 3 and 4)."""
+
+import pytest
+
+from repro.core import Objective
+from repro.geo import GeoPoint
+from repro.market import Driver, MarketCostModel, MarketInstance, Task
+from repro.offline import exact_optimum, lp_relaxation_bound
+from repro.online import (
+    MaxMarginDispatcher,
+    NearestDispatcher,
+    OnlineSimulator,
+    SimulationConfig,
+    TaskOrdering,
+    run_online,
+)
+
+from ..conftest import build_chain_instance, build_random_instance, flat_travel_model, point_east
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return build_chain_instance()
+
+
+@pytest.fixture(scope="module")
+def random_instance():
+    return build_random_instance(task_count=40, driver_count=10, seed=23)
+
+
+class TestSimulatorOnChainInstance:
+    def test_chainer_serves_both_tasks(self, chain):
+        outcome = run_online(chain, MaxMarginDispatcher())
+        assert outcome.record_for("chainer").task_indices == (0, 1)
+        assert outcome.record_for("stranded").task_indices == ()
+        assert outcome.total_value == pytest.approx(10.0, rel=0.02)
+        assert outcome.serve_rate == 1.0
+        assert outcome.rejected_tasks == ()
+
+    def test_nearest_also_serves_both(self, chain):
+        outcome = run_online(chain, NearestDispatcher())
+        assert outcome.served_count == 2
+
+    def test_dispatcher_name_recorded(self, chain):
+        assert run_online(chain, NearestDispatcher()).dispatcher_name == "nearest"
+        assert run_online(chain, MaxMarginDispatcher()).dispatcher_name == "maxMargin"
+
+
+class TestCandidateFiltering:
+    def _single_task_instance(self, driver: Driver) -> MarketInstance:
+        task = Task(
+            task_id="m",
+            publish_ts=400.0,
+            source=point_east(5.0),
+            destination=point_east(10.0),
+            start_deadline_ts=1000.0,
+            end_deadline_ts=1800.0,
+            price=6.0,
+            distance_km=5.0,
+        )
+        return MarketInstance.create(
+            drivers=[driver], tasks=[task], cost_model=MarketCostModel(flat_travel_model())
+        )
+
+    def test_driver_too_far_to_arrive_in_time_is_rejected(self):
+        # 10 km away, order published 600 s before the pickup deadline:
+        # the approach takes 1200 s, so the task must be rejected.
+        far_driver = Driver("far", point_east(-5.0), point_east(12.0), 0.0, 10_000.0)
+        instance = self._single_task_instance(far_driver)
+        outcome = run_online(instance, NearestDispatcher())
+        assert outcome.served_count == 0
+        assert list(outcome.rejected_tasks) == [0]
+
+    def test_driver_cannot_start_before_shift(self):
+        # Close by, but her shift starts only after the pickup deadline.
+        late_driver = Driver("late", point_east(5.0), point_east(12.0), 1200.0, 10_000.0)
+        instance = self._single_task_instance(late_driver)
+        outcome = run_online(instance, NearestDispatcher())
+        assert outcome.served_count == 0
+
+    def test_driver_must_reach_home_after_dropoff(self):
+        # Serving the task would strand her: home is 10 km from the drop-off
+        # but her shift ends right at the task's end deadline.
+        tight_driver = Driver("tight", point_east(5.0), point_east(20.0), 0.0, 1800.0)
+        instance = self._single_task_instance(tight_driver)
+        outcome = run_online(instance, NearestDispatcher())
+        assert outcome.served_count == 0
+
+    def test_feasible_driver_serves_task(self):
+        ok_driver = Driver("ok", point_east(3.0), point_east(12.0), 0.0, 10_000.0)
+        instance = self._single_task_instance(ok_driver)
+        outcome = run_online(instance, NearestDispatcher())
+        assert outcome.served_count == 1
+        assert outcome.record_for("ok").profit > 0.0
+
+
+class TestOrderingAndConfig:
+    def test_value_ordering_processes_expensive_tasks_first(self, random_instance):
+        arrival = run_online(random_instance, MaxMarginDispatcher(), TaskOrdering.ARRIVAL)
+        by_value = run_online(random_instance, MaxMarginDispatcher(), TaskOrdering.VALUE)
+        # Both must be valid outcomes; the sorted variant is the offline
+        # refinement the paper sketches, so it should not serve less revenue.
+        assert by_value.total_revenue >= 0.0
+        assert arrival.total_revenue >= 0.0
+
+    def test_unpublishable_tasks_dropped_by_default(self, chain):
+        task = chain.tasks[0]
+        overpriced = task.with_price(task.price * 2.0, wtp=task.price)
+        instance = chain.with_tasks([overpriced, chain.tasks[1]])
+        outcome = run_online(instance, MaxMarginDispatcher())
+        assert 0 not in outcome.served_tasks()
+
+    def test_early_pickup_mode_can_only_help(self, random_instance):
+        waiting = OnlineSimulator(
+            random_instance,
+            MaxMarginDispatcher(),
+            SimulationConfig(wait_for_pickup_deadline=True),
+        ).run()
+        eager = OnlineSimulator(
+            random_instance,
+            MaxMarginDispatcher(),
+            SimulationConfig(wait_for_pickup_deadline=False, use_recorded_duration=False),
+        ).run()
+        assert eager.served_count >= waiting.served_count
+
+
+class TestOutcomeInvariants:
+    @pytest.mark.parametrize("dispatcher_cls", [NearestDispatcher, MaxMarginDispatcher])
+    def test_no_task_served_twice(self, random_instance, dispatcher_cls):
+        outcome = run_online(random_instance, dispatcher_cls())
+        served = [m for r in outcome.records for m in r.task_indices]
+        assert len(served) == len(set(served))
+
+    def test_served_plus_rejected_covers_all_tasks(self, random_instance):
+        outcome = run_online(random_instance, NearestDispatcher())
+        assert outcome.served_count + len(outcome.rejected_tasks) == random_instance.task_count
+
+    def test_max_margin_drivers_never_lose_money(self, random_instance):
+        outcome = run_online(random_instance, MaxMarginDispatcher())
+        for record in outcome.records:
+            if record.task_indices:
+                assert record.profit > -1e-6
+
+    def test_online_value_bounded_by_offline_optimum(self):
+        """With the default trace-replay semantics every online schedule is a
+        feasible offline assignment, so no online outcome can beat Z*."""
+        instance = build_random_instance(task_count=20, driver_count=6, seed=29)
+        optimum = exact_optimum(instance).optimum
+        bound = lp_relaxation_bound(instance).upper_bound
+        for dispatcher in (NearestDispatcher(), MaxMarginDispatcher()):
+            outcome = run_online(instance, dispatcher)
+            assert outcome.total_value <= optimum + 1e-6
+            assert outcome.total_value <= bound + 1e-6
+
+    def test_online_chains_are_feasible_offline_paths(self, random_instance):
+        """Under default settings each driver's served sequence is a valid
+        path in her task map."""
+        outcome = run_online(random_instance, MaxMarginDispatcher())
+        for record in outcome.records:
+            task_map = random_instance.task_map(record.driver_id)
+            assert task_map.is_feasible_path(record.task_indices)
+
+    def test_summary_keys(self, random_instance):
+        outcome = run_online(random_instance, NearestDispatcher())
+        summary = outcome.summary()
+        for key in (
+            "total_value",
+            "total_revenue",
+            "served_count",
+            "serve_rate",
+            "revenue_per_driver",
+            "tasks_per_driver",
+            "active_drivers",
+            "rejected_tasks",
+        ):
+            assert key in summary
+
+    def test_record_lookup_raises_for_unknown_driver(self, chain):
+        outcome = run_online(chain, NearestDispatcher())
+        with pytest.raises(KeyError):
+            outcome.record_for("ghost")

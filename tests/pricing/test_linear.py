@@ -1,0 +1,80 @@
+"""Tests for the linear fare model (Eq. 15)."""
+
+import pytest
+
+from repro.geo import GeoPoint
+from repro.pricing import FareSchedule, LinearPricing, RideQuote
+
+A = GeoPoint(41.15, -8.61)
+B = A.offset_km(0.0, 5.0)
+
+
+def quote(distance=5.0, duration=600.0, ts=1000.0):
+    return RideQuote(origin=A, destination=B, distance_km=distance, duration_s=duration, request_ts=ts)
+
+
+class TestRideQuote:
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            RideQuote(A, B, -1.0, 600.0, 0.0)
+        with pytest.raises(ValueError):
+            RideQuote(A, B, 1.0, -600.0, 0.0)
+
+
+class TestFareSchedule:
+    def test_fare_is_linear_in_distance_and_time(self):
+        schedule = FareSchedule(beta1_per_km=1.0, beta2_per_s=0.01, base_fare=2.0)
+        assert schedule.fare(10.0, 100.0) == pytest.approx(2.0 + 10.0 + 1.0)
+
+    def test_default_schedule_prices_a_typical_trip_reasonably(self):
+        schedule = FareSchedule()
+        fare = schedule.fare(5.0, 600.0)  # 5 km, 10 minutes
+        assert 3.0 <= fare <= 15.0
+
+    def test_invalid_schedules(self):
+        with pytest.raises(ValueError):
+            FareSchedule(beta1_per_km=-1.0)
+        with pytest.raises(ValueError):
+            FareSchedule(beta1_per_km=0.0, beta2_per_s=0.0, base_fare=0.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            FareSchedule().fare(-1.0, 0.0)
+
+
+class TestLinearPricing:
+    def test_eq15_structure(self):
+        # p_m = alpha * (beta1 * distance + beta2 * duration)
+        policy = LinearPricing(
+            schedule=FareSchedule(beta1_per_km=0.8, beta2_per_s=0.005, base_fare=0.0),
+            alpha=1.5,
+        )
+        q = quote(distance=4.0, duration=300.0)
+        assert policy.price(q) == pytest.approx(1.5 * (0.8 * 4.0 + 0.005 * 300.0))
+        assert policy.surge_multiplier(q) == 1.5
+
+    def test_default_alpha_is_one(self):
+        policy = LinearPricing()
+        q = quote()
+        assert policy.price(q) == pytest.approx(policy.schedule.fare(q.distance_km, q.duration_s))
+
+    def test_price_scales_with_alpha(self):
+        q = quote()
+        base = LinearPricing(alpha=1.0).price(q)
+        surged = LinearPricing(alpha=2.0).price(q)
+        assert surged == pytest.approx(2.0 * base)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            LinearPricing(alpha=0.0)
+
+    def test_policy_is_callable(self):
+        policy = LinearPricing()
+        q = quote()
+        assert policy(q) == policy.price(q)
+
+    def test_longer_trips_cost_more(self):
+        policy = LinearPricing()
+        assert policy.price(quote(distance=10.0, duration=1200.0)) > policy.price(
+            quote(distance=2.0, duration=240.0)
+        )

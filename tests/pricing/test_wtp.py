@@ -1,0 +1,65 @@
+"""Tests for willingness-to-pay models."""
+
+import random
+
+import pytest
+
+from repro.geo import GeoPoint
+from repro.pricing import ExactWtp, ProportionalWtp, RideQuote, TimeValueWtp
+
+A = GeoPoint(41.15, -8.61)
+B = A.offset_km(0.0, 5.0)
+QUOTE = RideQuote(origin=A, destination=B, distance_km=5.0, duration_s=900.0, request_ts=0.0)
+
+
+class TestProportionalWtp:
+    def test_valuation_at_least_price(self):
+        model = ProportionalWtp(max_markup=0.3)
+        rng = random.Random(0)
+        for _ in range(100):
+            value = model.valuation(QUOTE, 10.0, rng)
+            assert 10.0 <= value <= 13.0 + 1e-9
+
+    def test_zero_markup_equals_price(self):
+        model = ProportionalWtp(max_markup=0.0)
+        assert model.valuation(QUOTE, 7.5, random.Random(0)) == pytest.approx(7.5)
+
+    def test_invalid_markup(self):
+        with pytest.raises(ValueError):
+            ProportionalWtp(max_markup=-0.1)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            ProportionalWtp().valuation(QUOTE, -1.0, random.Random(0))
+
+
+class TestExactWtp:
+    def test_valuation_equals_price(self):
+        model = ExactWtp()
+        assert model.valuation(QUOTE, 12.3, random.Random(0)) == 12.3
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            ExactWtp().valuation(QUOTE, -0.5, random.Random(0))
+
+
+class TestTimeValueWtp:
+    def test_valuation_floors_at_price(self):
+        model = TimeValueWtp(value_of_time_per_h=1.0, convenience=1.0)
+        # Time value of a 15-minute ride at 1/h is 0.25 -> floored at price.
+        assert model.valuation(QUOTE, 5.0, random.Random(0)) == pytest.approx(5.0)
+
+    def test_valuation_uses_time_value_when_larger(self):
+        model = TimeValueWtp(value_of_time_per_h=40.0, convenience=1.0)
+        # 15 minutes at 40/h = 10 > price 5.
+        assert model.valuation(QUOTE, 5.0, random.Random(0)) == pytest.approx(10.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TimeValueWtp(value_of_time_per_h=0.0)
+        with pytest.raises(ValueError):
+            TimeValueWtp(convenience=0.0)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            TimeValueWtp().valuation(QUOTE, -1.0, random.Random(0))

@@ -1,0 +1,125 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_instance
+from repro.trace import load_porto_trips
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("generate-trace", "build-market", "solve", "bound", "info", "experiment"):
+            args = parser.parse_args(
+                [command]
+                + (["--output", "x"] if command in ("generate-trace", "build-market") else [])
+                + (["--market", "m"] if command in ("solve", "bound", "info") else [])
+            )
+            assert args.command == command
+
+
+class TestGenerateTrace:
+    def test_writes_porto_csv(self, tmp_path, capsys):
+        output = tmp_path / "trace.csv"
+        assert main(["generate-trace", "--trips", "25", "--seed", "3", "--output", str(output)]) == 0
+        assert "wrote 25 trips" in capsys.readouterr().out
+        assert len(load_porto_trips(output)) == 25
+
+
+class TestBuildAndSolve:
+    @pytest.fixture(scope="class")
+    def market_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "market.json"
+        code = main(
+            [
+                "build-market",
+                "--trips",
+                "30",
+                "--drivers",
+                "8",
+                "--seed",
+                "5",
+                "--output",
+                str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_build_market_output_is_loadable(self, market_path):
+        instance = load_instance(market_path)
+        assert instance.task_count == 30
+        assert instance.driver_count == 8
+
+    @pytest.mark.parametrize("algorithm", ["greedy", "maxMargin", "nearest", "batched"])
+    def test_solve_prints_summary(self, market_path, algorithm, capsys):
+        assert main(["solve", "--market", str(market_path), "--algorithm", algorithm]) == 0
+        out = capsys.readouterr().out
+        assert f"algorithm: {algorithm}" in out
+        assert "total_value" in out
+        assert "serve_rate" in out
+
+    def test_solve_saves_solution(self, market_path, tmp_path, capsys):
+        output = tmp_path / "solution.json"
+        assert (
+            main(
+                [
+                    "solve",
+                    "--market",
+                    str(market_path),
+                    "--algorithm",
+                    "greedy",
+                    "--output",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        data = json.loads(output.read_text())
+        assert data["algorithm"] == "greedy"
+
+    def test_bound_command(self, market_path, capsys):
+        assert main(["bound", "--market", str(market_path), "--kind", "lagrangian"]) == 0
+        assert "upper bound" in capsys.readouterr().out
+
+    def test_info_command(self, market_path, capsys):
+        assert main(["info", "--market", str(market_path)]) == 0
+        out = capsys.readouterr().out
+        assert "tasks" in out and "diameter" in out
+
+    def test_home_work_home_market(self, tmp_path):
+        path = tmp_path / "hwh.json"
+        main(
+            [
+                "build-market",
+                "--trips",
+                "15",
+                "--drivers",
+                "4",
+                "--working-model",
+                "home_work_home",
+                "--output",
+                str(path),
+            ]
+        )
+        instance = load_instance(path)
+        assert all(d.source == d.destination for d in instance.drivers)
+
+
+class TestExperimentCommand:
+    def test_fig3_4_tiny(self, capsys):
+        assert main(["experiment", "--figure", "fig3-4", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out and "Fig. 4" in out
+
+    def test_fig6_9_tiny(self, capsys):
+        assert main(["experiment", "--figure", "fig6-9", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out and "Fig. 9" in out

@@ -1,0 +1,191 @@
+"""Cross-module property-based tests (hypothesis).
+
+These exercise the core invariants of the framework on randomly generated
+market instances:
+
+* feasibility of every solver's output;
+* the bound chain ``greedy <= Z* <= Z*_f <= Lagrangian``;
+* the ``1/(D+1)`` approximation guarantee of Theorem 1;
+* online outcomes never exceeding the offline optimum under trace-replay
+  semantics.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import MarketSolution
+from repro.geo import GeoPoint, HaversineEstimator, TravelModel
+from repro.market import Driver, MarketCostModel, MarketInstance, Task, market_diameter
+from repro.offline import (
+    best_path,
+    exact_optimum,
+    greedy_assignment,
+    lagrangian_bound,
+    lp_relaxation_bound,
+)
+from repro.online import MaxMarginDispatcher, NearestDispatcher, run_online
+
+ANCHOR = GeoPoint(41.17, -8.62)
+SPEED_KMH = 30.0
+COST_PER_KM = 0.12
+
+
+def build_instance(seed: int, task_count: int, driver_count: int) -> MarketInstance:
+    """A compact random instance with generous-but-varied time windows.
+
+    Hand-rolled (rather than reusing the trace generator) so hypothesis can
+    shrink the seed space quickly and windows/locations vary more wildly than
+    the calibrated generator allows.
+    """
+    rng = random.Random(seed)
+    cost_model = MarketCostModel(
+        TravelModel(HaversineEstimator(circuity=1.0), speed_kmh=SPEED_KMH, cost_per_km=COST_PER_KM)
+    )
+
+    def random_point() -> GeoPoint:
+        return ANCHOR.offset_km(rng.uniform(-4.0, 4.0), rng.uniform(-4.0, 4.0))
+
+    tasks = []
+    for m in range(task_count):
+        source = random_point()
+        destination = random_point()
+        distance = max(0.3, source.haversine_km(destination))
+        duration = distance / SPEED_KMH * 3600.0
+        start = rng.uniform(0.0, 6.0) * 3600.0
+        window_pad = rng.uniform(1.0, 1.6)
+        tasks.append(
+            Task(
+                task_id=f"t{m}",
+                publish_ts=start - rng.uniform(300.0, 900.0),
+                source=source,
+                destination=destination,
+                start_deadline_ts=start,
+                end_deadline_ts=start + duration * window_pad + 60.0,
+                price=rng.uniform(1.0, 3.0) + distance * rng.uniform(0.5, 1.2),
+                distance_km=distance,
+            )
+        )
+
+    drivers = []
+    for n in range(driver_count):
+        start = rng.uniform(0.0, 4.0) * 3600.0
+        drivers.append(
+            Driver(
+                driver_id=f"d{n}",
+                source=random_point(),
+                destination=random_point(),
+                start_ts=start,
+                end_ts=start + rng.uniform(1.0, 5.0) * 3600.0,
+            )
+        )
+    return MarketInstance.create(drivers=drivers, tasks=tasks, cost_model=cost_model)
+
+
+market_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.integers(min_value=3, max_value=14),      # tasks
+    st.integers(min_value=1, max_value=5),       # drivers
+)
+
+SLOW_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestSolverProperties:
+    @given(market_params)
+    @SLOW_SETTINGS
+    def test_greedy_solution_is_always_feasible(self, params):
+        seed, tasks, drivers = params
+        instance = build_instance(seed, tasks, drivers)
+        solution = greedy_assignment(instance)
+        solution.validate()
+        assert solution.total_value >= -1e-9
+
+    @given(market_params)
+    @SLOW_SETTINGS
+    def test_bound_chain_holds(self, params):
+        seed, tasks, drivers = params
+        instance = build_instance(seed, tasks, drivers)
+        greedy = greedy_assignment(instance).total_value
+        exact = exact_optimum(instance).optimum
+        lp = lp_relaxation_bound(instance).upper_bound
+        lagrangian = lagrangian_bound(instance, iterations=15, target_value=greedy).upper_bound
+        assert greedy <= exact + 1e-6
+        assert exact <= lp + 1e-6
+        assert exact <= lagrangian + 1e-6
+
+    @given(market_params)
+    @SLOW_SETTINGS
+    def test_theorem1_approximation_guarantee(self, params):
+        seed, tasks, drivers = params
+        instance = build_instance(seed, tasks, drivers)
+        greedy = greedy_assignment(instance).total_value
+        exact = exact_optimum(instance).optimum
+        diameter = market_diameter(instance)
+        assert greedy >= exact / (diameter + 1) - 1e-6
+
+    @given(market_params)
+    @SLOW_SETTINGS
+    def test_exact_solution_validates_and_matches_reported_optimum(self, params):
+        seed, tasks, drivers = params
+        instance = build_instance(seed, tasks, drivers)
+        result = exact_optimum(instance)
+        result.solution.validate()
+        assert result.solution.total_value == pytest.approx(result.optimum, rel=1e-6, abs=1e-6)
+
+    @given(market_params)
+    @SLOW_SETTINGS
+    def test_online_outcomes_bounded_by_exact_optimum(self, params):
+        seed, tasks, drivers = params
+        instance = build_instance(seed, tasks, drivers)
+        exact = exact_optimum(instance).optimum
+        for dispatcher in (NearestDispatcher(seed=seed), MaxMarginDispatcher()):
+            outcome = run_online(instance, dispatcher)
+            assert outcome.total_value <= exact + 1e-6
+            served = [m for r in outcome.records for m in r.task_indices]
+            assert len(served) == len(set(served))
+
+    @given(market_params)
+    @SLOW_SETTINGS
+    def test_best_path_profit_consistent_with_path_evaluation(self, params):
+        seed, tasks, drivers = params
+        instance = build_instance(seed, tasks, drivers)
+        for driver in instance.drivers:
+            task_map = instance.task_map(driver.driver_id)
+            result = best_path(task_map)
+            assert task_map.is_feasible_path(result.path)
+            if result.path:
+                assert result.profit == pytest.approx(task_map.path_profit(result.path), rel=1e-9)
+
+
+class TestSolutionAlgebraProperties:
+    @given(market_params)
+    @SLOW_SETTINGS
+    def test_profit_decomposition(self, params):
+        """For every driver plan, profit == sum(prices) - excess cost."""
+        seed, tasks, drivers = params
+        instance = build_instance(seed, tasks, drivers)
+        solution = greedy_assignment(instance)
+        for plan in solution.iter_nonempty_plans():
+            task_map = instance.task_map(plan.driver_id)
+            prices = sum(instance.tasks[m].price for m in plan.task_indices)
+            excess = task_map.path_excess_cost(plan.task_indices)
+            assert plan.profit == pytest.approx(prices - excess, rel=1e-9, abs=1e-9)
+
+    @given(market_params)
+    @SLOW_SETTINGS
+    def test_total_value_equals_sum_of_plans(self, params):
+        seed, tasks, drivers = params
+        instance = build_instance(seed, tasks, drivers)
+        solution = greedy_assignment(instance)
+        rebuilt = MarketSolution.from_assignment(instance, solution.assignment())
+        assert rebuilt.total_value == pytest.approx(solution.total_value, rel=1e-9, abs=1e-9)
+        assert rebuilt.served_tasks() == solution.served_tasks()

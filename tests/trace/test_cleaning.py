@@ -1,0 +1,112 @@
+"""Tests for repro.trace.cleaning."""
+
+import pytest
+
+from repro.geo import PORTO, GeoPoint
+from repro.trace import (
+    CleaningConfig,
+    TripRecord,
+    clean_trips,
+    first_n_by_time,
+    generate_trace,
+    sample_day,
+)
+
+A = GeoPoint(41.15, -8.61)
+B = A.offset_km(0.0, 5.0)
+
+
+def trip(trip_id, start=0.0, duration=600.0, distance=5.0, origin=A, destination=B):
+    return TripRecord(trip_id, "d", start, start + duration, origin, destination, distance)
+
+
+class TestCleanTrips:
+    def test_good_trips_kept(self):
+        trips = [trip(f"t{i}", start=i * 1000.0) for i in range(5)]
+        kept, report = clean_trips(trips)
+        assert len(kept) == 5
+        assert report.kept == 5
+        assert report.dropped_total == 0
+
+    def test_duration_filter(self):
+        trips = [trip("short", duration=10.0), trip("long", duration=4 * 3600.0), trip("ok")]
+        kept, report = clean_trips(trips)
+        assert [t.trip_id for t in kept] == ["ok"]
+        assert report.dropped_duration == 2
+
+    def test_distance_filter(self):
+        trips = [trip("tiny", distance=0.05), trip("huge", distance=500.0), trip("ok")]
+        kept, report = clean_trips(trips)
+        assert [t.trip_id for t in kept] == ["ok"]
+        assert report.dropped_distance == 2
+
+    def test_speed_filter(self):
+        # 50 km in 10 minutes = 300 km/h.
+        trips = [trip("rocket", duration=600.0, distance=50.0), trip("ok")]
+        kept, report = clean_trips(trips)
+        assert [t.trip_id for t in kept] == ["ok"]
+        assert report.dropped_speed == 1
+
+    def test_bounding_box_filter(self):
+        outside = GeoPoint(40.0, -8.61)
+        trips = [trip("away", origin=outside), trip("ok")]
+        kept, report = clean_trips(trips, CleaningConfig(bounding_box=PORTO))
+        assert [t.trip_id for t in kept] == ["ok"]
+        assert report.dropped_outside_area == 1
+
+    def test_duplicate_filter(self):
+        trips = [trip("same"), trip("same"), trip("other")]
+        kept, report = clean_trips(trips)
+        assert len(kept) == 2
+        assert report.dropped_duplicate == 1
+
+    def test_report_accounting_consistent(self):
+        trips = [trip("a"), trip("b", duration=5.0), trip("a")]
+        kept, report = clean_trips(trips)
+        assert report.input_count == 3
+        assert report.kept == len(kept)
+        assert report.dropped_total == report.input_count - report.kept
+        assert sum(
+            [
+                report.dropped_duration,
+                report.dropped_distance,
+                report.dropped_speed,
+                report.dropped_outside_area,
+                report.dropped_duplicate,
+            ]
+        ) == report.dropped_total
+        assert set(report.as_dict()) >= {"input_count", "kept"}
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CleaningConfig(min_duration_s=100.0, max_duration_s=50.0)
+        with pytest.raises(ValueError):
+            CleaningConfig(max_speed_kmh=0.0)
+
+    def test_synthetic_trace_mostly_survives_cleaning(self):
+        trips = generate_trace(trip_count=300, seed=21)
+        kept, _ = clean_trips(trips, CleaningConfig(bounding_box=PORTO))
+        assert len(kept) >= 0.9 * len(trips)
+
+
+class TestSelection:
+    def test_sample_day_boundaries(self):
+        trips = [trip(f"t{i}", start=i * 3600.0 * 6) for i in range(8)]  # spans 2 days
+        day0 = sample_day(trips, 0)
+        day1 = sample_day(trips, 1)
+        assert len(day0) == 4
+        assert len(day1) == 4
+        assert {t.trip_id for t in day0}.isdisjoint({t.trip_id for t in day1})
+
+    def test_sample_day_empty_and_invalid(self):
+        assert sample_day([], 0) == []
+        with pytest.raises(ValueError):
+            sample_day([], -1)
+
+    def test_first_n_by_time(self):
+        trips = [trip("late", start=100.0), trip("early", start=1.0), trip("mid", start=50.0)]
+        assert [t.trip_id for t in first_n_by_time(trips, 2)] == ["early", "mid"]
+
+    def test_first_n_by_time_invalid(self):
+        with pytest.raises(ValueError):
+            first_n_by_time([], -1)

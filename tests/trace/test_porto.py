@@ -1,0 +1,113 @@
+"""Tests for the Porto CSV loader (round-tripping synthetic data through it)."""
+
+import json
+
+import pytest
+
+from repro.geo import GeoPoint
+from repro.trace import (
+    PortoFormatError,
+    TripRecord,
+    generate_trace,
+    iter_porto_rows,
+    load_porto_trips,
+    parse_polyline,
+    parse_row,
+    row_to_trip,
+    write_porto_csv,
+)
+
+
+def make_row(polyline, missing="False", taxi_id="20000001", timestamp="1372636858"):
+    return {
+        "TRIP_ID": "1372636858620000589",
+        "CALL_TYPE": "C",
+        "ORIGIN_CALL": "",
+        "ORIGIN_STAND": "",
+        "TAXI_ID": taxi_id,
+        "TIMESTAMP": timestamp,
+        "DAY_TYPE": "A",
+        "MISSING_DATA": missing,
+        "POLYLINE": json.dumps(polyline),
+    }
+
+
+class TestPolylineParsing:
+    def test_parse_polyline_lon_lat_order(self):
+        points = parse_polyline("[[-8.61, 41.15], [-8.60, 41.16]]")
+        assert points[0] == GeoPoint(41.15, -8.61)
+        assert points[1] == GeoPoint(41.16, -8.60)
+
+    def test_parse_polyline_empty(self):
+        assert parse_polyline("[]") == []
+        assert parse_polyline("") == []
+
+    def test_parse_polyline_invalid_json(self):
+        with pytest.raises(PortoFormatError):
+            parse_polyline("not json")
+
+    def test_parse_polyline_invalid_element(self):
+        with pytest.raises(PortoFormatError):
+            parse_polyline("[[1.0]]")
+
+
+class TestRowParsing:
+    def test_parse_row_and_convert(self):
+        raw = make_row([[-8.61, 41.15], [-8.605, 41.152], [-8.60, 41.154]])
+        row = parse_row(raw)
+        assert row.taxi_id == "20000001"
+        assert row.missing_data is False
+        trip = row_to_trip(row)
+        assert isinstance(trip, TripRecord)
+        assert trip.driver_id == "20000001"
+        assert trip.start_ts == 1372636858.0
+        assert trip.duration_s == pytest.approx(30.0)
+        assert trip.distance_km > 0.0
+
+    def test_missing_data_row_dropped(self):
+        raw = make_row([[-8.61, 41.15], [-8.60, 41.16]], missing="True")
+        assert row_to_trip(parse_row(raw)) is None
+
+    def test_short_polyline_dropped(self):
+        raw = make_row([[-8.61, 41.15]])
+        assert row_to_trip(parse_row(raw)) is None
+
+    def test_missing_column_raises(self):
+        raw = make_row([[-8.61, 41.15], [-8.60, 41.16]])
+        del raw["TAXI_ID"]
+        with pytest.raises(PortoFormatError):
+            parse_row(raw)
+
+    def test_bad_timestamp_raises(self):
+        raw = make_row([[-8.61, 41.15], [-8.60, 41.16]], timestamp="not-a-number")
+        with pytest.raises(PortoFormatError):
+            parse_row(raw)
+
+
+class TestCsvRoundTrip:
+    def test_write_and_reload(self, tmp_path):
+        trips = generate_trace(trip_count=25, seed=9)
+        path = tmp_path / "porto.csv"
+        written = write_porto_csv(trips, path)
+        assert written == 25
+
+        loaded = load_porto_trips(path)
+        assert len(loaded) == 25
+        # Origins/destinations survive the round trip.
+        for original, reloaded in zip(trips, loaded):
+            assert reloaded.origin.lat == pytest.approx(original.origin.lat, abs=1e-6)
+            assert reloaded.origin.lon == pytest.approx(original.origin.lon, abs=1e-6)
+            assert reloaded.destination.lat == pytest.approx(original.destination.lat, abs=1e-6)
+            assert int(reloaded.start_ts) == int(original.start_ts)
+
+    def test_load_with_limit(self, tmp_path):
+        trips = generate_trace(trip_count=30, seed=9)
+        path = tmp_path / "porto.csv"
+        write_porto_csv(trips, path)
+        assert len(load_porto_trips(path, limit=7)) == 7
+
+    def test_iter_rows_streams_all(self, tmp_path):
+        trips = generate_trace(trip_count=12, seed=9)
+        path = tmp_path / "porto.csv"
+        write_porto_csv(trips, path)
+        assert sum(1 for _ in iter_porto_rows(path)) == 12

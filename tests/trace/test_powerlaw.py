@@ -1,0 +1,122 @@
+"""Tests for repro.trace.powerlaw."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import (
+    PowerLawDistribution,
+    complementary_cdf,
+    fit_power_law_mle,
+    tail_heaviness,
+)
+
+
+class TestPowerLawDistribution:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PowerLawDistribution(alpha=1.0, x_min=1.0)
+        with pytest.raises(ValueError):
+            PowerLawDistribution(alpha=2.0, x_min=0.0)
+        with pytest.raises(ValueError):
+            PowerLawDistribution(alpha=2.0, x_min=5.0, x_max=4.0)
+
+    def test_samples_respect_support(self):
+        dist = PowerLawDistribution(alpha=2.5, x_min=2.0, x_max=100.0)
+        rng = random.Random(0)
+        samples = dist.sample_many(rng, 2000)
+        assert min(samples) >= 2.0
+        assert max(samples) <= 100.0
+
+    def test_unbounded_samples_above_x_min(self):
+        dist = PowerLawDistribution(alpha=3.0, x_min=1.0)
+        rng = random.Random(1)
+        assert all(s >= 1.0 for s in dist.sample_many(rng, 500))
+
+    def test_sample_many_count_validation(self):
+        dist = PowerLawDistribution(alpha=2.5, x_min=1.0)
+        with pytest.raises(ValueError):
+            dist.sample_many(random.Random(0), -1)
+
+    def test_empirical_mean_matches_analytic(self):
+        dist = PowerLawDistribution(alpha=2.6, x_min=3.0, x_max=7200.0)
+        rng = random.Random(2)
+        samples = dist.sample_many(rng, 20000)
+        assert np.mean(samples) == pytest.approx(dist.mean(), rel=0.08)
+
+    def test_unbounded_mean_requires_alpha_above_two(self):
+        with pytest.raises(ValueError):
+            PowerLawDistribution(alpha=1.8, x_min=1.0).mean()
+
+    def test_pdf_zero_outside_support(self):
+        dist = PowerLawDistribution(alpha=2.5, x_min=2.0, x_max=10.0)
+        assert dist.pdf(1.0) == 0.0
+        assert dist.pdf(11.0) == 0.0
+        assert dist.pdf(3.0) > 0.0
+
+    def test_pdf_integrates_to_one(self):
+        dist = PowerLawDistribution(alpha=2.5, x_min=1.0, x_max=50.0)
+        xs = np.linspace(1.0, 50.0, 20000)
+        integral = np.trapezoid([dist.pdf(x) for x in xs], xs)
+        assert integral == pytest.approx(1.0, rel=0.01)
+
+    def test_determinism_given_seed(self):
+        dist = PowerLawDistribution(alpha=2.5, x_min=1.0, x_max=100.0)
+        a = dist.sample_many(random.Random(42), 10)
+        b = dist.sample_many(random.Random(42), 10)
+        assert a == b
+
+
+class TestFitting:
+    def test_mle_recovers_exponent(self):
+        true = PowerLawDistribution(alpha=2.4, x_min=5.0)
+        rng = random.Random(3)
+        samples = true.sample_many(rng, 30000)
+        fitted = fit_power_law_mle(samples, x_min=5.0)
+        assert fitted.alpha == pytest.approx(2.4, abs=0.1)
+
+    def test_mle_requires_enough_samples(self):
+        with pytest.raises(ValueError):
+            fit_power_law_mle([1.0])
+
+    def test_mle_rejects_degenerate_samples(self):
+        with pytest.raises(ValueError):
+            fit_power_law_mle([2.0, 2.0, 2.0], x_min=2.0)
+
+    def test_mle_infers_x_min(self):
+        samples = [1.0, 2.0, 4.0, 8.0, 16.0]
+        fitted = fit_power_law_mle(samples)
+        assert fitted.x_min == 1.0
+
+    @given(st.floats(min_value=2.1, max_value=3.5))
+    @settings(max_examples=20, deadline=None)
+    def test_mle_roundtrip_property(self, alpha):
+        dist = PowerLawDistribution(alpha=alpha, x_min=1.0)
+        samples = dist.sample_many(random.Random(11), 8000)
+        fitted = fit_power_law_mle(samples, x_min=1.0)
+        assert fitted.alpha == pytest.approx(alpha, rel=0.10)
+
+
+class TestDescriptiveStats:
+    def test_complementary_cdf_is_decreasing(self):
+        values, survival = complementary_cdf([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert list(values) == sorted(values)
+        assert all(survival[i] >= survival[i + 1] for i in range(len(survival) - 1))
+        assert survival[0] == pytest.approx(1.0)
+
+    def test_complementary_cdf_requires_positive_samples(self):
+        with pytest.raises(ValueError):
+            complementary_cdf([0.0, -1.0])
+
+    def test_tail_heaviness_orders_distributions(self):
+        rng = random.Random(5)
+        heavy = PowerLawDistribution(alpha=2.2, x_min=1.0).sample_many(rng, 5000)
+        light = [rng.gauss(10.0, 1.0) for _ in range(5000)]
+        assert tail_heaviness(heavy) > tail_heaviness(light)
+
+    def test_tail_heaviness_requires_samples(self):
+        with pytest.raises(ValueError):
+            tail_heaviness([])

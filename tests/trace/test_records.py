@@ -1,0 +1,89 @@
+"""Tests for repro.trace.records."""
+
+import pytest
+
+from repro.geo import GeoPoint
+from repro.trace import TripRecord, shifts_from_trips, slice_by_time
+
+A = GeoPoint(41.15, -8.61)
+B = A.offset_km(0.0, 5.0)
+
+
+def make_trip(trip_id="t1", driver_id="d1", start=0.0, duration=600.0, distance=5.0):
+    return TripRecord(
+        trip_id=trip_id,
+        driver_id=driver_id,
+        start_ts=start,
+        end_ts=start + duration,
+        origin=A,
+        destination=B,
+        distance_km=distance,
+    )
+
+
+class TestTripRecord:
+    def test_basic_properties(self):
+        trip = make_trip(duration=600.0, distance=5.0)
+        assert trip.duration_s == 600.0
+        assert trip.duration_min == pytest.approx(10.0)
+        assert trip.average_speed_kmh == pytest.approx(30.0)
+
+    def test_invalid_times_rejected(self):
+        with pytest.raises(ValueError):
+            TripRecord("t", "d", 100.0, 50.0, A, B, 1.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            TripRecord("t", "d", 0.0, 10.0, A, B, -1.0)
+
+    def test_zero_duration_speed_is_zero(self):
+        trip = TripRecord("t", "d", 0.0, 0.0, A, B, 1.0)
+        assert trip.average_speed_kmh == 0.0
+
+    def test_from_polyline(self):
+        polyline = [A, A.offset_km(0.0, 1.0), A.offset_km(0.0, 2.0)]
+        trip = TripRecord.from_polyline("t", "d", start_ts=100.0, polyline=polyline)
+        assert trip.duration_s == pytest.approx(30.0)  # 2 segments x 15 s
+        assert trip.distance_km == pytest.approx(2.0, rel=0.01)
+        assert trip.origin == polyline[0]
+        assert trip.destination == polyline[-1]
+        assert len(trip.polyline) == 3
+
+    def test_from_polyline_requires_two_points(self):
+        with pytest.raises(ValueError):
+            TripRecord.from_polyline("t", "d", 0.0, [A])
+
+
+class TestShifts:
+    def test_shifts_cover_trip_span(self):
+        trips = [
+            make_trip("t1", "d1", start=100.0, duration=500.0),
+            make_trip("t2", "d1", start=2000.0, duration=300.0),
+            make_trip("t3", "d2", start=50.0, duration=100.0),
+        ]
+        shifts = {s.driver_id: s for s in shifts_from_trips(trips)}
+        assert set(shifts) == {"d1", "d2"}
+        assert shifts["d1"].start_ts == 100.0
+        assert shifts["d1"].end_ts == 2300.0
+        assert shifts["d1"].trip_count == 2
+        assert shifts["d1"].duration_h == pytest.approx(2200.0 / 3600.0)
+        assert shifts["d2"].trip_count == 1
+
+    def test_shifts_empty_input(self):
+        assert shifts_from_trips([]) == []
+
+    def test_shifts_sorted_by_driver_id(self):
+        trips = [make_trip("t1", "z"), make_trip("t2", "a")]
+        shifts = shifts_from_trips(trips)
+        assert [s.driver_id for s in shifts] == ["a", "z"]
+
+
+class TestSlicing:
+    def test_slice_by_time_half_open_interval(self):
+        trips = [make_trip(f"t{i}", start=float(i) * 100.0) for i in range(10)]
+        window = slice_by_time(trips, 200.0, 500.0)
+        assert [t.trip_id for t in window] == ["t2", "t3", "t4"]
+
+    def test_slice_by_time_invalid_range(self):
+        with pytest.raises(ValueError):
+            slice_by_time([], 10.0, 5.0)
