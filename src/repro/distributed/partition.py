@@ -17,9 +17,12 @@ task sets, so merging shard solutions can never assign a task twice.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
 
 from ..geo import BoundingBox, GeoPoint
+from ..geo.batch import coord_array
 from ..market.driver import Driver
 from ..market.instance import MarketInstance
 from ..market.task import Task
@@ -92,17 +95,32 @@ class SpatialPartitioner:
         row, col = self.region.cell_index(point, self.rows, self.cols)
         return row * self.cols + col
 
+    def shard_indices(self, points: Iterable[GeoPoint]) -> np.ndarray:
+        """Vectorised :meth:`shard_index` over a point collection."""
+        coords = coord_array(list(points))
+        if coords.shape[0] == 0:
+            return np.empty(0, dtype=np.intp)
+        rows, cols = self.region.cell_indices(
+            coords[:, 0], coords[:, 1], self.rows, self.cols
+        )
+        return rows * self.cols + cols
+
     def partition(self, instance: MarketInstance) -> PartitionPlan:
         """Split ``instance`` into shards."""
         regions = self.region.split(self.rows, self.cols)
 
         task_buckets: Dict[int, List[int]] = {i: [] for i in range(self.shard_count)}
-        for index, task in enumerate(instance.tasks):
-            task_buckets[self.shard_index(task.source)].append(index)
+        for index, shard_id in enumerate(
+            self.shard_indices(task.source for task in instance.tasks)
+        ):
+            task_buckets[int(shard_id)].append(index)
 
         driver_buckets: Dict[int, List[Driver]] = {i: [] for i in range(self.shard_count)}
-        for driver in instance.drivers:
-            driver_buckets[self.shard_index(driver.source)].append(driver)
+        for driver, shard_id in zip(
+            instance.drivers,
+            self.shard_indices(driver.source for driver in instance.drivers),
+        ):
+            driver_buckets[int(shard_id)].append(driver)
 
         shards: List[MarketShard] = []
         for shard_id in range(self.shard_count):

@@ -1,5 +1,7 @@
-"""Geospatial substrate: points, regions, distance/travel models, grid index."""
+"""Geospatial substrate: points, regions, distance/travel models, grid index,
+and the vectorised batch kernels (:func:`pairwise_km` / :func:`cross_km`)."""
 
+from .batch import coord_array, cross_km, pairwise_km
 from .point import (
     EARTH_RADIUS_KM,
     GeoPoint,
@@ -18,9 +20,12 @@ from .distance import (
     TravelModel,
     default_travel_model,
 )
-from .grid import SpatialGrid, build_grid
+from .grid import GridIndex, SpatialGrid, bounding_box_of, build_grid
 
 __all__ = [
+    "coord_array",
+    "cross_km",
+    "pairwise_km",
     "EARTH_RADIUS_KM",
     "GeoPoint",
     "centroid",
@@ -42,4 +47,6 @@ __all__ = [
     "default_travel_model",
     "SpatialGrid",
     "build_grid",
+    "GridIndex",
+    "bounding_box_of",
 ]

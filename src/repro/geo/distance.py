@@ -12,11 +12,22 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+import numpy as np
+
+from . import batch
 from .point import GeoPoint, equirectangular_km, haversine_km, manhattan_km
 
 
 class DistanceEstimator(abc.ABC):
-    """Strategy interface for point-to-point driving-distance estimation."""
+    """Strategy interface for point-to-point driving-distance estimation.
+
+    Besides the scalar :meth:`distance_km`, estimators expose the batch
+    :meth:`pairwise_km` / :meth:`cross_km` APIs used by the online candidate
+    kernel and the task-map builders.  The base-class implementations fall
+    back to the scalar method pair by pair, so any custom estimator keeps
+    working; the built-in estimators override them with NumPy kernels that
+    match the scalar results to floating-point round-off.
+    """
 
     @abc.abstractmethod
     def distance_km(self, origin: GeoPoint, destination: GeoPoint) -> float:
@@ -24,6 +35,46 @@ class DistanceEstimator(abc.ABC):
 
     def __call__(self, origin: GeoPoint, destination: GeoPoint) -> float:
         return self.distance_km(origin, destination)
+
+    # ------------------------------------------------------------------
+    # batch APIs
+    # ------------------------------------------------------------------
+    def pairwise_km(
+        self, origins: batch.PointsLike, destinations: batch.PointsLike
+    ) -> np.ndarray:
+        """Element-wise distances ``out[i] = distance(origins[i], destinations[i])``."""
+        o, d = _as_points(origins), _as_points(destinations)
+        if len(o) != len(d):
+            raise ValueError("pairwise_km needs equally long collections")
+        return np.array([self.distance_km(a, b) for a, b in zip(o, d)], dtype=float)
+
+    def cross_km(
+        self, origins: batch.PointsLike, destinations: batch.PointsLike
+    ) -> np.ndarray:
+        """Full distance matrix ``out[i, j] = distance(origins[i], destinations[j])``."""
+        o, d = _as_points(origins), _as_points(destinations)
+        out = np.empty((len(o), len(d)), dtype=float)
+        for i, a in enumerate(o):
+            for j, b in enumerate(d):
+                out[i, j] = self.distance_km(a, b)
+        return out
+
+    def prune_radius_km(self, reach_km: float) -> float | None:
+        """A straight-line (equirectangular) radius guaranteed to contain every
+        point whose *estimated* distance is at most ``reach_km``.
+
+        Spatial indexes use this to turn a travel-time budget into a safe
+        search radius.  ``None`` (the default) means no bound is known and
+        callers must fall back to an exhaustive scan.
+
+        The bounds returned by the built-in estimators hold for city-scale
+        service areas away from the poles (diagonal up to a few hundred
+        kilometres, latitudes within roughly +/-70 degrees), where the
+        equirectangular, haversine and L1 metrics agree to within a few
+        percent; the candidate kernel only activates its spatial index inside
+        that regime.  They are *not* valid for antipodal-scale geometry.
+        """
+        return None
 
 
 @dataclass(frozen=True, slots=True)
@@ -37,12 +88,30 @@ class HaversineEstimator(DistanceEstimator):
 
     circuity: float = 1.3
 
+    #: Name of the raw :mod:`repro.geo.batch` kernel this estimator scales;
+    #: lets hot loops call the kernel directly on pre-converted radian arrays.
+    batch_metric = "haversine"
+
     def __post_init__(self) -> None:
         if self.circuity < 1.0:
             raise ValueError("circuity factor must be >= 1.0")
 
     def distance_km(self, origin: GeoPoint, destination: GeoPoint) -> float:
         return self.circuity * haversine_km(origin, destination)
+
+    def pairwise_km(self, origins, destinations) -> np.ndarray:
+        return self.circuity * batch.pairwise_km(origins, destinations, metric="haversine")
+
+    def cross_km(self, origins, destinations) -> np.ndarray:
+        return self.circuity * batch.cross_km(origins, destinations, metric="haversine")
+
+    def prune_radius_km(self, reach_km: float) -> float:
+        # At city scale within +/-70 degrees latitude (the regime the
+        # candidate kernel enforces before indexing) the equirectangular
+        # distance exceeds the haversine distance by at most ~13%, dominated
+        # by the cos(mean-latitude) mismatch across the box; 20% + 500 m
+        # keeps the bound a strict superset with margin to spare.
+        return reach_km / self.circuity * 1.2 + 0.5
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,6 +120,8 @@ class EquirectangularEstimator(DistanceEstimator):
 
     circuity: float = 1.3
 
+    batch_metric = "equirectangular"
+
     def __post_init__(self) -> None:
         if self.circuity < 1.0:
             raise ValueError("circuity factor must be >= 1.0")
@@ -58,14 +129,40 @@ class EquirectangularEstimator(DistanceEstimator):
     def distance_km(self, origin: GeoPoint, destination: GeoPoint) -> float:
         return self.circuity * equirectangular_km(origin, destination)
 
+    def pairwise_km(self, origins, destinations) -> np.ndarray:
+        return self.circuity * batch.pairwise_km(origins, destinations, metric="equirectangular")
+
+    def cross_km(self, origins, destinations) -> np.ndarray:
+        return self.circuity * batch.cross_km(origins, destinations, metric="equirectangular")
+
+    def prune_radius_km(self, reach_km: float) -> float:
+        # The estimator *is* the straight-line metric scaled by circuity, so
+        # the conversion is exact; the small absolute pad absorbs round-off.
+        return reach_km / self.circuity + 1e-6
+
 
 @dataclass(frozen=True, slots=True)
 class ManhattanEstimator(DistanceEstimator):
     """L1 (grid-city) driving distance; no extra circuity is applied because
     the L1 detour already models rectilinear streets."""
 
+    batch_metric = "manhattan"
+
     def distance_km(self, origin: GeoPoint, destination: GeoPoint) -> float:
         return manhattan_km(origin, destination)
+
+    def pairwise_km(self, origins, destinations) -> np.ndarray:
+        return batch.pairwise_km(origins, destinations, metric="manhattan")
+
+    def cross_km(self, origins, destinations) -> np.ndarray:
+        return batch.cross_km(origins, destinations, metric="manhattan")
+
+    def prune_radius_km(self, reach_km: float) -> float:
+        # L1 dominates L2 in the same projection, but the L1 east-west leg is
+        # scaled by cos(lat of the origin) while the equirectangular metric
+        # uses cos(mean latitude); at city scale within +/-70 degrees that
+        # mismatch stays well under the 20% + 500 m margin.
+        return reach_km * 1.2 + 0.5
 
 
 @dataclass(frozen=True, slots=True)
@@ -123,6 +220,15 @@ class TravelModel:
         if distance_km < 0:
             raise ValueError("distance must be non-negative")
         return distance_km * self.cost_per_km
+
+
+def _as_points(points: batch.PointsLike) -> list:
+    """Materialise a point collection as a list of :class:`GeoPoint` (slow
+    path used only by the generic scalar fallbacks)."""
+    if isinstance(points, np.ndarray):
+        arr = batch.coord_array(points)
+        return [GeoPoint(float(lat), float(lon)) for lat, lon in arr]
+    return list(points)
 
 
 def default_travel_model(speed_kmh: float = 30.0, cost_per_km: float = 0.12) -> TravelModel:

@@ -17,13 +17,12 @@ by the task-map builder to keep construction at city scale fast.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 import numpy as np
 
-from ..geo import EARTH_RADIUS_KM, GeoPoint, TravelModel, default_travel_model
+from ..geo import GeoPoint, TravelModel, default_travel_model
 from .task import Task
 
 
@@ -87,11 +86,12 @@ class MarketCostModel:
         """Times and costs for every (origin, destination) pair.
 
         Returns ``(times_s, costs)`` with shape ``(len(origins),
-        len(destinations))``.  Distances use the equirectangular approximation
-        scaled by the haversine estimator's circuity factor, which matches the
-        scalar estimates to well under a percent at city scale.
+        len(destinations))``.  Distances come from the estimator's batch
+        kernel, so the matrix matches the scalar :meth:`leg` values to
+        floating-point round-off (historically this used an equirectangular
+        approximation that could drift from the scalar path by ~0.1%).
         """
-        distance_km = _pairwise_distance_km(origins, destinations) * self._circuity()
+        distance_km = self.travel_model.estimator.cross_km(origins, destinations)
         times = distance_km / self.travel_model.speed_kmh * 3600.0
         costs = distance_km * self.travel_model.cost_per_km
         return times, costs
@@ -109,22 +109,3 @@ class MarketCostModel:
         """Times and costs from many origins to one destination."""
         times, costs = self.pairwise_leg_matrix(origins, [destination])
         return times[:, 0], costs[:, 0]
-
-    def _circuity(self) -> float:
-        estimator = self.travel_model.estimator
-        return float(getattr(estimator, "circuity", 1.0))
-
-
-def _pairwise_distance_km(
-    origins: Sequence[GeoPoint], destinations: Sequence[GeoPoint]
-) -> np.ndarray:
-    """Equirectangular distance matrix between two point collections (km)."""
-    if len(origins) == 0 or len(destinations) == 0:
-        return np.zeros((len(origins), len(destinations)))
-    o_lat = np.radians(np.array([p.lat for p in origins], dtype=float))[:, None]
-    o_lon = np.radians(np.array([p.lon for p in origins], dtype=float))[:, None]
-    d_lat = np.radians(np.array([p.lat for p in destinations], dtype=float))[None, :]
-    d_lon = np.radians(np.array([p.lon for p in destinations], dtype=float))[None, :]
-    x = (d_lon - o_lon) * np.cos((o_lat + d_lat) / 2.0)
-    y = d_lat - o_lat
-    return EARTH_RADIUS_KM * np.hypot(x, y)

@@ -19,7 +19,12 @@ from ..trace.records import TripRecord
 from .cost import MarketCostModel
 from .driver import Driver
 from .task import Task
-from .taskmap import DriverTaskMap, TaskNetwork, build_driver_task_map, build_task_network
+from .taskmap import (
+    DriverTaskMap,
+    TaskNetwork,
+    build_driver_task_maps,
+    build_task_network,
+)
 
 
 @dataclass(frozen=True)
@@ -78,11 +83,9 @@ class MarketInstance:
 
     @cached_property
     def task_maps(self) -> Dict[str, DriverTaskMap]:
-        """Per-driver task maps keyed by driver id (Eqs. 1-3)."""
-        return {
-            driver.driver_id: build_driver_task_map(driver, self.task_network, self.cost_model)
-            for driver in self.drivers
-        }
+        """Per-driver task maps keyed by driver id (Eqs. 1-3), built with the
+        fleet-batched constructor (two ``N x M`` leg matrices)."""
+        return build_driver_task_maps(self.drivers, self.task_network, self.cost_model)
 
     def task_map(self, driver_id: str) -> DriverTaskMap:
         """The task map of one driver."""

@@ -354,10 +354,60 @@ def build_driver_task_maps(
     network: TaskNetwork,
     cost_model: MarketCostModel,
 ) -> Dict[str, DriverTaskMap]:
-    """Task maps for a whole fleet, keyed by driver id."""
-    maps: Dict[str, DriverTaskMap] = {}
-    for driver in drivers:
-        if driver.driver_id in maps:
+    """Task maps for a whole fleet, keyed by driver id.
+
+    The source/sink legs of *all* drivers are computed with two fleet-wide
+    batch calls (``N x M`` matrices) instead of two batch calls per driver,
+    which removes the per-driver Python overhead from instance construction.
+    The per-driver numbers are identical to :func:`build_driver_task_map`.
+    """
+    fleet = list(drivers)
+    seen = set()
+    for driver in fleet:
+        if driver.driver_id in seen:
             raise ValueError(f"duplicate driver id {driver.driver_id!r}")
-        maps[driver.driver_id] = build_driver_task_map(driver, network, cost_model)
+        seen.add(driver.driver_id)
+    if not fleet:
+        return {}
+    if network.task_count == 0:
+        return {
+            d.driver_id: build_driver_task_map(d, network, cost_model) for d in fleet
+        }
+
+    sources = [t.source for t in network.tasks]
+    destinations = [t.destination for t in network.tasks]
+    start_deadlines = np.array([t.start_deadline_ts for t in network.tasks])
+    end_deadlines = np.array([t.end_deadline_ts for t in network.tasks])
+
+    # Chunking the fleet bounds peak memory at O(chunk x M) while keeping
+    # the batched-leg win; 512 drivers x 100k tasks is ~400 MB transient,
+    # versus the whole-fleet matrices growing without bound.
+    chunk_size = 512
+    maps: Dict[str, DriverTaskMap] = {}
+    for lo in range(0, len(fleet), chunk_size):
+        chunk = fleet[lo : lo + chunk_size]
+        source_times, source_costs = cost_model.pairwise_leg_matrix(
+            [d.source for d in chunk], sources
+        )  # (chunk, M)
+        sink_times, sink_costs = cost_model.pairwise_leg_matrix(
+            destinations, [d.destination for d in chunk]
+        )  # (M, chunk)
+        for j, driver in enumerate(chunk):
+            src_t = np.ascontiguousarray(source_times[j])
+            src_c = np.ascontiguousarray(source_costs[j])
+            snk_t = np.ascontiguousarray(sink_times[:, j])
+            snk_c = np.ascontiguousarray(sink_costs[:, j])
+            exit_ok = network.servable & (snk_t <= (driver.end_ts - end_deadlines) + 1e-9)
+            entry_ok = exit_ok & (src_t <= (start_deadlines - driver.start_ts) + 1e-9)
+            maps[driver.driver_id] = DriverTaskMap(
+                driver=driver,
+                network=network,
+                entry_ok=entry_ok,
+                exit_ok=exit_ok,
+                source_leg_times=src_t,
+                source_leg_costs=src_c,
+                sink_leg_times=snk_t,
+                sink_leg_costs=snk_c,
+                direct_leg=cost_model.driver_direct_leg(driver.source, driver.destination),
+            )
     return maps

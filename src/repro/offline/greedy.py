@@ -67,9 +67,16 @@ class GreedySolver:
         paths_recomputed = 0
         iterations = 0
 
+        # The task maps are built with the fleet-batched constructor (two
+        # N x M vectorised leg matrices); drivers whose maps admit no entry
+        # task — detected from the vectorised entry mask, without running the
+        # DAG solver — can never contribute a profitable path and are skipped
+        # before the initial best-path sweep.
         task_maps = instance.task_maps
         cached: Dict[str, PathResult] = {}
         for driver_id, task_map in task_maps.items():
+            if not task_map.has_any_task():
+                continue
             result = best_path(task_map, available=available, use_valuation=use_valuation)
             paths_recomputed += 1
             cached[driver_id] = result

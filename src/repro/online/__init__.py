@@ -1,6 +1,7 @@
 """Online dispatch: driver state, dispatch heuristics and the simulator."""
 
 from .batch import BatchConfig, BatchedSimulator, run_batched
+from .candidates import CandidateKernel
 from .dispatchers import Dispatcher, MaxMarginDispatcher, NearestDispatcher, RandomDispatcher
 from .outcome import OnlineDriverRecord, OnlineOutcome
 from .repositioning import (
@@ -15,6 +16,7 @@ from .simulator import OnlineSimulator, SimulationConfig, TaskOrdering, run_onli
 from .state import Candidate, DriverState
 
 __all__ = [
+    "CandidateKernel",
     "Dispatcher",
     "NearestDispatcher",
     "MaxMarginDispatcher",

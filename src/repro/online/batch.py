@@ -33,6 +33,7 @@ from scipy import optimize
 
 from ..market.instance import MarketInstance
 from ..market.task import Task
+from .candidates import CandidateKernel
 from .outcome import OnlineDriverRecord, OnlineOutcome
 from .state import Candidate, DriverState
 
@@ -57,6 +58,10 @@ class BatchConfig:
     #: duration.
     wait_for_pickup_deadline: bool = True
     use_recorded_duration: bool = True
+    #: Use the vectorised candidate kernel (one ``cross_km`` cost matrix per
+    #: window instead of nested Python loops); ``False`` falls back to the
+    #: scalar reference loop, which yields the same candidates.
+    use_vectorized_kernel: bool = True
 
     def __post_init__(self) -> None:
         if self.window_s <= 0:
@@ -72,6 +77,7 @@ class BatchedSimulator:
         self.instance = instance
         self.config = config or BatchConfig()
         self._cost_model = instance.cost_model
+        self._kernel: Optional[CandidateKernel] = None
 
     # ------------------------------------------------------------------
     # main loop
@@ -81,6 +87,16 @@ class BatchedSimulator:
         states = {
             driver.driver_id: DriverState.fresh(driver) for driver in self.instance.drivers
         }
+        self._kernel = CandidateKernel(
+            self.instance,
+            states.values(),
+            wait_for_pickup_deadline=self.config.wait_for_pickup_deadline,
+            use_recorded_duration=self.config.use_recorded_duration,
+            vectorized=self.config.use_vectorized_kernel,
+            # The window path builds full cost matrices; the per-task grid
+            # prefilter would not be consulted anyway.
+            spatial_index=False,
+        )
         pending: List[int] = []
         rejected: List[int] = []
 
@@ -147,16 +163,13 @@ class BatchedSimulator:
         expired = [
             m for m in pending if self.instance.tasks[m].start_deadline_ts < now_ts
         ]
-        candidates_by_task: Dict[int, List[Candidate]] = {}
-        live_tasks: List[int] = []
-        for m in pending:
-            if m in set(expired):
-                continue
-            task = self.instance.tasks[m]
-            candidates = self._candidates(m, task, states.values(), now_ts)
-            if candidates:
-                candidates_by_task[m] = candidates
-                live_tasks.append(m)
+        expired_set = set(expired)
+        window = [m for m in pending if m not in expired_set]
+        # One vectorised pass builds the feasibility masks and marginal-value
+        # matrix for the whole window (a cross_km call per leg kind) instead
+        # of a nested Python loop over (task, driver) pairs.
+        candidates_by_task = self._kernel.candidates_for_window(window, now_ts)
+        live_tasks = [m for m in window if m in candidates_by_task]
 
         if not live_tasks:
             return {}, expired
@@ -185,57 +198,6 @@ class BatchedSimulator:
             assigned[m] = driver_id
         return assigned, expired
 
-    # ------------------------------------------------------------------
-    # per-pair feasibility (same rules as the per-order simulator)
-    # ------------------------------------------------------------------
-    def _candidates(
-        self, task_index: int, task: Task, states, now_ts: float
-    ) -> List[Candidate]:
-        network = self.instance.task_network
-        if not network.servable[task_index]:
-            return []
-        if self.config.use_recorded_duration:
-            ride_duration = task.ride_window_s
-        else:
-            ride_duration = float(network.durations_s[task_index])
-        service_cost = float(network.service_costs[task_index])
-
-        candidates: List[Candidate] = []
-        for state in states:
-            driver = state.driver
-            depart_ts = max(state.free_at, now_ts, driver.start_ts)
-            if depart_ts > task.start_deadline_ts:
-                continue
-            approach = self._cost_model.leg(state.location, task.source)
-            arrival_ts = depart_ts + approach.time_s
-            if arrival_ts > task.start_deadline_ts + 1e-9:
-                continue
-            pickup_ts = (
-                max(arrival_ts, task.start_deadline_ts)
-                if self.config.wait_for_pickup_deadline
-                else arrival_ts
-            )
-            dropoff_ts = pickup_ts + ride_duration
-            if dropoff_ts > task.end_deadline_ts + 1e-9:
-                continue
-            home_leg = self._cost_model.leg(task.destination, driver.destination)
-            if dropoff_ts + home_leg.time_s > driver.end_ts + 1e-9:
-                continue
-            current_home_leg = self._cost_model.leg(state.location, driver.destination)
-            marginal = task.price - (
-                home_leg.cost + service_cost + approach.cost - current_home_leg.cost
-            )
-            candidates.append(
-                Candidate(
-                    state=state,
-                    arrival_ts=arrival_ts,
-                    dropoff_ts=dropoff_ts,
-                    approach_cost=approach.cost,
-                    marginal_value=marginal,
-                )
-            )
-        return candidates
-
     def _commit(self, choice: Candidate, task_index: int, task: Task) -> None:
         service_cost = float(self.instance.task_network.service_costs[task_index])
         profit_delta = task.price - service_cost - choice.approach_cost
@@ -246,6 +208,7 @@ class BatchedSimulator:
             dropoff_ts=choice.dropoff_ts,
             profit_delta=profit_delta,
         )
+        self._kernel.sync(choice.state)
 
     def _settle(self, state: DriverState) -> OnlineDriverRecord:
         profit = state.running_profit

@@ -1,0 +1,467 @@
+"""Vectorised driver-candidate generation — the online dispatch hot path.
+
+Both online simulators (the per-order :class:`~repro.online.simulator.OnlineSimulator`
+implementing Algorithms 3-4 and the rolling-horizon
+:class:`~repro.online.batch.BatchedSimulator`) repeatedly answer the same
+question: *which drivers can feasibly serve this task, and at what marginal
+value?*  The original implementation walked every driver in Python and
+called the scalar distance estimator three times per (driver, task) pair —
+an ``O(N x M)`` scalar-haversine loop that dominated wall-clock on every
+benchmark.
+
+:class:`CandidateKernel` replaces that loop with NumPy arithmetic over
+persistent driver-state arrays:
+
+* the approach legs (driver location -> task source), home legs (task
+  destination -> driver destination) and current home legs (driver location
+  -> driver destination) are computed with the estimator's batch kernels
+  (:meth:`~repro.geo.distance.DistanceEstimator.cross_km` /
+  :meth:`~repro.geo.distance.DistanceEstimator.pairwise_km`);
+* every feasibility test of the scalar loop (pickup deadline, drop-off
+  deadline, shift end) becomes a boolean mask with the *same* arithmetic and
+  the same epsilons, so the surviving candidates and their marginal values
+  match the scalar path to floating-point round-off;
+* an optional :class:`~repro.geo.grid.GridIndex` over driver locations turns
+  the per-task scan into a range query: only drivers within the task's
+  travel-time reach are even considered.  The index answers *supersets*, so
+  enabling it never changes the candidate set — it only skips drivers that
+  could not pass the exact checks anyway.
+
+The scalar reference loop is kept as :meth:`candidates_for_scalar`; the
+equivalence tests in ``tests/online/test_candidate_kernel.py`` replay whole
+simulations through both paths and assert identical outcomes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..geo import GridIndex, bounding_box_of
+from ..geo.batch import coord_array, metric_fn
+from ..market.instance import MarketInstance
+from ..market.task import Task
+from .state import Candidate, DriverState
+
+#: The spatial index is only engaged for service areas where the built-in
+#: estimators' ``prune_radius_km`` margins are provably supersets: city-scale
+#: boxes (diagonal below a few hundred km) away from the poles.  Larger or
+#: polar instances silently fall back to the exhaustive (still vectorised)
+#: scan, keeping the "index never changes the outcome" guarantee.
+_MAX_INDEX_DIAGONAL_KM = 300.0
+_MAX_INDEX_ABS_LAT_DEG = 70.0
+
+
+class CandidateKernel:
+    """Feasible-candidate search over a fleet of mutable driver states.
+
+    Parameters
+    ----------
+    instance:
+        The market being simulated.
+    states:
+        The simulator's driver states, in dispatch order.  The kernel keeps
+        array mirrors of each state's position and free-at time; call
+        :meth:`sync` whenever a simulator mutates a state (assignment or
+        repositioning) so the mirrors stay current.
+    wait_for_pickup_deadline / use_recorded_duration:
+        Trace-replay semantics, identical to the simulator configs.
+    vectorized:
+        ``False`` routes every query through the scalar reference loop
+        (useful for tests and for exotic estimators without batch kernels).
+    spatial_index:
+        Enable the :class:`~repro.geo.grid.GridIndex` prefilter.  Ignored
+        when the estimator cannot bound straight-line distance
+        (``prune_radius_km`` returning ``None``) or the fleet is too small
+        for the index to pay off.
+    """
+
+    def __init__(
+        self,
+        instance: MarketInstance,
+        states: Iterable[DriverState],
+        *,
+        wait_for_pickup_deadline: bool = True,
+        use_recorded_duration: bool = True,
+        vectorized: bool = True,
+        spatial_index: bool = True,
+        cell_km: float = 1.0,
+        min_drivers_for_index: int = 24,
+    ) -> None:
+        self.instance = instance
+        self.wait_for_pickup_deadline = wait_for_pickup_deadline
+        self.use_recorded_duration = use_recorded_duration
+        self.vectorized = vectorized
+        self._cost_model = instance.cost_model
+        travel_model = self._cost_model.travel_model
+        self._estimator = travel_model.estimator
+        self._speed_kmh = travel_model.speed_kmh
+        self._cost_per_km = travel_model.cost_per_km
+
+        self._states: List[DriverState] = list(states)
+        n = len(self._states)
+        self._slot_by_driver: Dict[str, int] = {
+            state.driver.driver_id: slot for slot, state in enumerate(self._states)
+        }
+        if len(self._slot_by_driver) != n:
+            raise ValueError("driver ids must be unique")
+
+        self._loc = np.empty((n, 2), dtype=float)
+        self._free_at = np.empty(n, dtype=float)
+        for slot, state in enumerate(self._states):
+            self._loc[slot, 0] = state.location.lat
+            self._loc[slot, 1] = state.location.lon
+            self._free_at[slot] = state.free_at
+        self._driver_start = np.array([s.driver.start_ts for s in self._states], dtype=float)
+        self._driver_end = np.array([s.driver.end_ts for s in self._states], dtype=float)
+        self._dest = coord_array([s.driver.destination for s in self._states])
+
+        self._task_sources = coord_array([t.source for t in instance.tasks])
+        self._task_destinations = coord_array([t.destination for t in instance.tasks])
+
+        # Fast path: the built-in estimators name their raw batch kernel, so
+        # the hot loop can keep radian arrays and skip the per-call degree
+        # conversion; exotic estimators go through their (generic) batch API.
+        metric = getattr(self._estimator, "batch_metric", None)
+        self._metric = metric_fn(metric) if metric is not None else None
+        self._metric_scale = float(getattr(self._estimator, "circuity", 1.0))
+        self._loc_rad = np.radians(self._loc)
+        self._dest_rad = np.radians(self._dest)
+        self._task_sources_rad = np.radians(self._task_sources)
+        self._task_destinations_rad = np.radians(self._task_destinations)
+        # Current-home distances (driver location -> own destination) change
+        # only when a driver moves, so they are cached and refreshed per-slot
+        # in :meth:`sync` instead of being recomputed on every query.
+        self._current_home_km = self._distances_elementwise(
+            self._loc_rad, self._loc, self._dest_rad, self._dest
+        )
+
+        self._grid: Optional[GridIndex] = None
+        if (
+            vectorized
+            and spatial_index
+            and n >= min_drivers_for_index
+            and self._estimator.prune_radius_km(1.0) is not None
+        ):
+            box = bounding_box_of(
+                [s.location for s in self._states]
+                + [s.driver.destination for s in self._states]
+                + [t.source for t in instance.tasks]
+                + [t.destination for t in instance.tasks]
+            )
+            if (
+                box is not None
+                and box.diagonal_km() <= _MAX_INDEX_DIAGONAL_KM
+                and max(abs(box.south), abs(box.north)) <= _MAX_INDEX_ABS_LAT_DEG
+            ):
+                self._grid = GridIndex(box, cell_km=cell_km)
+                for state in self._states:
+                    self._grid.add(state.location)
+
+    # ------------------------------------------------------------------
+    # state tracking
+    # ------------------------------------------------------------------
+    @property
+    def uses_spatial_index(self) -> bool:
+        return self._grid is not None
+
+    def sync(self, state: DriverState) -> None:
+        """Refresh the array mirrors after ``state`` moved or was assigned."""
+        slot = self._slot_by_driver[state.driver.driver_id]
+        self._loc[slot, 0] = state.location.lat
+        self._loc[slot, 1] = state.location.lon
+        self._loc_rad[slot] = np.radians(self._loc[slot])
+        self._free_at[slot] = state.free_at
+        self._current_home_km[slot] = self._distances_elementwise(
+            self._loc_rad[slot : slot + 1],
+            self._loc[slot : slot + 1],
+            self._dest_rad[slot : slot + 1],
+            self._dest[slot : slot + 1],
+        )[0]
+        if self._grid is not None:
+            self._grid.update(slot, state.location)
+
+    # ------------------------------------------------------------------
+    # batch distances (fast radian path for the built-in estimators)
+    # ------------------------------------------------------------------
+    def _distances_to_point(self, origins_rad: np.ndarray, origins_deg: np.ndarray,
+                            point_rad: np.ndarray, point_deg: np.ndarray) -> np.ndarray:
+        """Estimator distances from many origins to one destination."""
+        if self._metric is not None:
+            return self._metric_scale * self._metric(
+                origins_rad[:, 0], origins_rad[:, 1], point_rad[0], point_rad[1]
+            )
+        return self._estimator.cross_km(origins_deg, point_deg[None, :])[:, 0]
+
+    def _distances_from_point(self, point_rad: np.ndarray, point_deg: np.ndarray,
+                              dests_rad: np.ndarray, dests_deg: np.ndarray) -> np.ndarray:
+        """Estimator distances from one origin to many destinations."""
+        if self._metric is not None:
+            return self._metric_scale * self._metric(
+                point_rad[0], point_rad[1], dests_rad[:, 0], dests_rad[:, 1]
+            )
+        return self._estimator.cross_km(point_deg[None, :], dests_deg)[0]
+
+    def _distances_elementwise(self, a_rad: np.ndarray, a_deg: np.ndarray,
+                               b_rad: np.ndarray, b_deg: np.ndarray) -> np.ndarray:
+        """Estimator distances ``a[i] -> b[i]``."""
+        if self._metric is not None:
+            return self._metric_scale * self._metric(
+                a_rad[:, 0], a_rad[:, 1], b_rad[:, 0], b_rad[:, 1]
+            )
+        return self._estimator.pairwise_km(a_deg, b_deg)
+
+    def _distances_cross(self, a_rad: np.ndarray, a_deg: np.ndarray,
+                         b_rad: np.ndarray, b_deg: np.ndarray) -> np.ndarray:
+        """Estimator distance matrix ``a[i] -> b[j]``."""
+        if self._metric is not None:
+            return self._metric_scale * self._metric(
+                a_rad[:, 0][:, None], a_rad[:, 1][:, None],
+                b_rad[:, 0][None, :], b_rad[:, 1][None, :],
+            )
+        return self._estimator.cross_km(a_deg, b_deg)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def candidates_for(self, task_index: int, task: Task, now_ts: float) -> List[Candidate]:
+        """Feasible candidates for one task, in driver order."""
+        if not self.vectorized:
+            return self.candidates_for_scalar(task_index, task, now_ts)
+        network = self.instance.task_network
+        if not network.servable[task_index]:
+            return []
+        sdl = task.start_deadline_ts
+        if now_ts > sdl:
+            # Every depart time is at least ``now_ts``, so nobody can leave
+            # by the pickup deadline.
+            return []
+        if self.use_recorded_duration:
+            ride_duration = task.ride_window_s
+        else:
+            ride_duration = float(network.durations_s[task_index])
+        service_cost = float(network.service_costs[task_index])
+
+        slots = self._prefilter_slots(task, now_ts)
+        if slots.size == 0:
+            return []
+
+        depart = np.maximum(self._free_at[slots], self._driver_start[slots])
+        depart = np.maximum(depart, now_ts)
+        feasible = depart <= sdl
+        if not feasible.any():
+            return []
+        slots = slots[feasible]
+        depart = depart[feasible]
+
+        approach_km = self._distances_to_point(
+            self._loc_rad[slots], self._loc[slots],
+            self._task_sources_rad[task_index], self._task_sources[task_index],
+        )
+        approach_time = approach_km / self._speed_kmh * 3600.0
+        approach_cost = approach_km * self._cost_per_km
+        arrival = depart + approach_time
+        feasible = arrival <= sdl + 1e-9
+        if self.wait_for_pickup_deadline:
+            pickup = np.maximum(arrival, sdl)
+        else:
+            pickup = arrival
+        dropoff = pickup + ride_duration
+        feasible &= dropoff <= task.end_deadline_ts + 1e-9
+        if not feasible.any():
+            return []
+        # Narrow before the remaining two leg computations — with tight
+        # pickup deadlines most of the fleet is already out at this point.
+        slots = slots[feasible]
+        arrival = arrival[feasible]
+        dropoff = dropoff[feasible]
+        approach_cost = approach_cost[feasible]
+
+        home_km = self._distances_from_point(
+            self._task_destinations_rad[task_index], self._task_destinations[task_index],
+            self._dest_rad[slots], self._dest[slots],
+        )
+        home_time = home_km / self._speed_kmh * 3600.0
+        home_cost = home_km * self._cost_per_km
+        feasible = dropoff + home_time <= self._driver_end[slots] + 1e-9
+        if not feasible.any():
+            return []
+        slots = slots[feasible]
+        arrival = arrival[feasible]
+        dropoff = dropoff[feasible]
+        approach_cost = approach_cost[feasible]
+        home_cost = home_cost[feasible]
+
+        current_home_cost = self._current_home_km[slots] * self._cost_per_km
+        marginal = task.price - (
+            home_cost + service_cost + approach_cost - current_home_cost
+        )
+
+        states = self._states
+        return [
+            Candidate(
+                state=states[slot],
+                arrival_ts=arr,
+                dropoff_ts=drop,
+                approach_cost=cost,
+                marginal_value=margin,
+            )
+            for slot, arr, drop, cost, margin in zip(
+                slots.tolist(),
+                arrival.tolist(),
+                dropoff.tolist(),
+                approach_cost.tolist(),
+                marginal.tolist(),
+            )
+        ]
+
+    def candidates_for_window(
+        self, task_indices: Sequence[int], now_ts: float
+    ) -> Dict[int, List[Candidate]]:
+        """Feasible candidates for a whole dispatch window at once.
+
+        Builds the full ``(tasks x drivers)`` approach/home cost matrices
+        with one ``cross_km`` call each instead of per-task scans; used by
+        the batched simulator.  Returns ``{task_index: candidates}`` with
+        tasks without candidates omitted.
+        """
+        if not self.vectorized:
+            out: Dict[int, List[Candidate]] = {}
+            for m in task_indices:
+                candidates = self.candidates_for_scalar(m, self.instance.tasks[m], now_ts)
+                if candidates:
+                    out[m] = candidates
+            return out
+
+        network = self.instance.task_network
+        live = [m for m in task_indices if network.servable[m]]
+        if not live or not self._states:
+            return {}
+        tasks = [self.instance.tasks[m] for m in live]
+        idx = np.asarray(live, dtype=np.intp)
+
+        sdl = np.array([t.start_deadline_ts for t in tasks], dtype=float)
+        edl = np.array([t.end_deadline_ts for t in tasks], dtype=float)
+        prices = np.array([t.price for t in tasks], dtype=float)
+        if self.use_recorded_duration:
+            ride_durations = np.array([t.ride_window_s for t in tasks], dtype=float)
+        else:
+            ride_durations = network.durations_s[idx].astype(float)
+        service_costs = network.service_costs[idx].astype(float)
+
+        depart = np.maximum(self._free_at, self._driver_start)
+        depart = np.maximum(depart, now_ts)  # (D,)
+        feasible = depart[None, :] <= sdl[:, None]  # (T, D)
+
+        approach_km = self._distances_cross(
+            self._loc_rad, self._loc, self._task_sources_rad[idx], self._task_sources[idx]
+        )  # (D, T)
+        approach_time = (approach_km / self._speed_kmh * 3600.0).T  # (T, D)
+        approach_cost = (approach_km * self._cost_per_km).T
+        arrival = depart[None, :] + approach_time
+        feasible &= arrival <= sdl[:, None] + 1e-9
+        if self.wait_for_pickup_deadline:
+            pickup = np.maximum(arrival, sdl[:, None])
+        else:
+            pickup = arrival
+        dropoff = pickup + ride_durations[:, None]
+        feasible &= dropoff <= edl[:, None] + 1e-9
+
+        home_km = self._distances_cross(
+            self._task_destinations_rad[idx], self._task_destinations[idx],
+            self._dest_rad, self._dest,
+        )  # (T, D)
+        home_time = home_km / self._speed_kmh * 3600.0
+        home_cost = home_km * self._cost_per_km
+        feasible &= dropoff + home_time <= self._driver_end[None, :] + 1e-9
+
+        current_home_cost = self._current_home_km * self._cost_per_km  # (D,)
+        marginal = prices[:, None] - (
+            home_cost + service_costs[:, None] + approach_cost - current_home_cost[None, :]
+        )
+
+        out = {}
+        task_rows, driver_cols = np.nonzero(feasible)
+        for row, col in zip(task_rows, driver_cols):
+            m = live[int(row)]
+            out.setdefault(m, []).append(
+                Candidate(
+                    state=self._states[int(col)],
+                    arrival_ts=float(arrival[row, col]),
+                    dropoff_ts=float(dropoff[row, col]),
+                    approach_cost=float(approach_cost[row, col]),
+                    marginal_value=float(marginal[row, col]),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # scalar reference path
+    # ------------------------------------------------------------------
+    def candidates_for_scalar(
+        self, task_index: int, task: Task, now_ts: float
+    ) -> List[Candidate]:
+        """The original per-driver Python loop, kept as the reference
+        implementation (and the fallback for ``vectorized=False``)."""
+        network = self.instance.task_network
+        if not network.servable[task_index]:
+            return []
+        if self.use_recorded_duration:
+            ride_duration = task.ride_window_s
+        else:
+            ride_duration = float(network.durations_s[task_index])
+        service_cost = float(network.service_costs[task_index])
+
+        candidates: List[Candidate] = []
+        for state in self._states:
+            driver = state.driver
+            depart_ts = max(state.free_at, now_ts, driver.start_ts)
+            if depart_ts > task.start_deadline_ts:
+                continue
+            approach = self._cost_model.leg(state.location, task.source)
+            arrival_ts = depart_ts + approach.time_s
+            if arrival_ts > task.start_deadline_ts + 1e-9:
+                continue
+            if self.wait_for_pickup_deadline:
+                pickup_ts = max(arrival_ts, task.start_deadline_ts)
+            else:
+                pickup_ts = arrival_ts
+            dropoff_ts = pickup_ts + ride_duration
+            if dropoff_ts > task.end_deadline_ts + 1e-9:
+                continue
+            home_leg = self._cost_model.leg(task.destination, driver.destination)
+            if dropoff_ts + home_leg.time_s > driver.end_ts + 1e-9:
+                continue
+            current_home_leg = self._cost_model.leg(state.location, driver.destination)
+            marginal = task.price - (
+                home_leg.cost + service_cost + approach.cost - current_home_leg.cost
+            )
+            candidates.append(
+                Candidate(
+                    state=state,
+                    arrival_ts=arrival_ts,
+                    dropoff_ts=dropoff_ts,
+                    approach_cost=approach.cost,
+                    marginal_value=marginal,
+                )
+            )
+        return candidates
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _prefilter_slots(self, task: Task, now_ts: float) -> np.ndarray:
+        """Slots worth checking for ``task``: a grid range query when the
+        spatial index is active, otherwise the whole fleet."""
+        if self._grid is None:
+            return np.arange(len(self._states), dtype=np.intp)
+        # A driver departing no earlier than ``now_ts`` must cover the whole
+        # approach within the pickup-deadline budget; convert that distance
+        # budget into a safe straight-line radius for the grid query.
+        budget_s = max(0.0, task.start_deadline_ts - now_ts) + 1.0
+        reach_km = budget_s / 3600.0 * self._speed_kmh
+        prune_km = self._estimator.prune_radius_km(reach_km)
+        if prune_km is None:
+            return np.arange(len(self._states), dtype=np.intp)
+        return self._grid.query_slots(task.source, prune_km)

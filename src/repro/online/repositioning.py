@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..geo import BoundingBox, GeoPoint, PORTO
 from ..market.task import Task
@@ -206,21 +206,45 @@ def apply_repositioning(
     states: Iterable[DriverState],
     now_ts: float,
     travel_model,
+    on_move: Optional[Callable[[DriverState], None]] = None,
 ) -> int:
     """Apply a policy to every idle driver; returns how many moved.
 
     The empty drive is charged to the driver's running profit and her
     location / free-at time advance to the target, exactly as an approach
-    drive would.
+    drive would.  ``on_move`` (if given) is called with every state that
+    moved, so callers tracking driver positions — e.g. the candidate
+    kernel's spatial index — stay in sync.  The empty-drive distances of all
+    accepted moves are computed with one batched estimator call, which means
+    every ``policy.suggest`` call observes the fleet as it stood *before*
+    this round of moves (the built-in policies only read the suggesting
+    driver's own state, so they are unaffected).
     """
-    moved = 0
+    moves: List[Tuple[DriverState, RepositioningMove]] = []
     for state in states:
         move = policy.suggest(state, now_ts)
-        if move is None:
-            continue
-        distance = travel_model.distance_km(state.location, move.target)
+        if move is not None:
+            moves.append((state, move))
+    if not moves:
+        return 0
+    estimator = getattr(travel_model, "estimator", None)
+    if estimator is not None:
+        distances = estimator.pairwise_km(
+            [state.location for state, _move in moves],
+            [move.target for _state, move in moves],
+        )
+    else:
+        # Duck-typed travel models (only distance_km/cost/time conversions)
+        # keep working through the scalar path.
+        distances = [
+            travel_model.distance_km(state.location, move.target)
+            for state, move in moves
+        ]
+    for (state, move), distance in zip(moves, distances):
+        distance = float(distance)
         state.running_profit -= travel_model.cost_for_distance(distance)
         state.location = move.target
         state.free_at = move.depart_ts + travel_model.time_for_distance_s(distance)
-        moved += 1
-    return moved
+        if on_move is not None:
+            on_move(state)
+    return len(moves)

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..market.instance import MarketInstance
 from ..market.task import Task
+from .candidates import CandidateKernel
 from .dispatchers import Dispatcher
 from .outcome import OnlineDriverRecord, OnlineOutcome
 from .repositioning import RepositioningPolicy, apply_repositioning
@@ -65,6 +66,12 @@ class SimulationConfig:
     #: the offline model.  When ``False`` the shorter distance/speed estimate
     #: is used and drivers may free up before the drop-off deadline.
     use_recorded_duration: bool = True
+    #: Use the vectorised candidate kernel (``False`` falls back to the
+    #: scalar reference loop; candidate sets are identical either way).
+    use_vectorized_kernel: bool = True
+    #: Prefilter candidates with a spatial grid index over driver locations
+    #: (a strict superset query — never changes the outcome, only the cost).
+    use_spatial_index: bool = True
 
 
 class OnlineSimulator:
@@ -82,6 +89,7 @@ class OnlineSimulator:
         self.config = config or SimulationConfig()
         self.repositioning = repositioning
         self._cost_model = instance.cost_model
+        self._kernel: Optional[CandidateKernel] = None
 
     # ------------------------------------------------------------------
     # main loop
@@ -91,6 +99,15 @@ class OnlineSimulator:
         states = {
             driver.driver_id: DriverState.fresh(driver) for driver in self.instance.drivers
         }
+        kernel = CandidateKernel(
+            self.instance,
+            states.values(),
+            wait_for_pickup_deadline=self.config.wait_for_pickup_deadline,
+            use_recorded_duration=self.config.use_recorded_duration,
+            vectorized=self.config.use_vectorized_kernel,
+            spatial_index=self.config.use_spatial_index,
+        )
+        self._kernel = kernel
         rejected: List[int] = []
 
         for task_index, task in self._task_stream():
@@ -103,9 +120,10 @@ class OnlineSimulator:
                     states.values(),
                     now_ts,
                     self._cost_model.travel_model,
+                    on_move=kernel.sync,
                 )
 
-            candidates = self._candidates(task_index, task, states.values(), now_ts)
+            candidates = kernel.candidates_for(task_index, task, now_ts)
             choice = self.dispatcher.select(task, candidates)
             if choice is None:
                 rejected.append(task_index)
@@ -133,64 +151,6 @@ class OnlineSimulator:
             indexed.sort(key=lambda pair: (-pair[1].price, pair[1].publish_ts, pair[0]))
         return indexed
 
-    def _candidates(
-        self,
-        task_index: int,
-        task: Task,
-        states,
-        now_ts: float,
-    ) -> List[Candidate]:
-        network = self.instance.task_network
-        if not network.servable[task_index]:
-            return []
-        if self.config.use_recorded_duration:
-            ride_duration = task.ride_window_s
-        else:
-            ride_duration = float(network.durations_s[task_index])
-        service_cost = float(network.service_costs[task_index])
-
-        candidates: List[Candidate] = []
-        for state in states:
-            driver = state.driver
-            # The driver cannot leave for the pickup before she is free, before
-            # the order exists, or before her shift starts.
-            depart_ts = max(state.free_at, now_ts, driver.start_ts)
-            if depart_ts > task.start_deadline_ts:
-                continue
-            approach = self._cost_model.leg(state.location, task.source)
-            arrival_ts = depart_ts + approach.time_s
-            if arrival_ts > task.start_deadline_ts + 1e-9:
-                continue
-            if self.config.wait_for_pickup_deadline:
-                pickup_ts = max(arrival_ts, task.start_deadline_ts)
-            else:
-                pickup_ts = arrival_ts
-            dropoff_ts = pickup_ts + ride_duration
-            if dropoff_ts > task.end_deadline_ts + 1e-9:
-                continue
-            # She must still be able to reach her own destination in time.
-            home_leg = self._cost_model.leg(task.destination, driver.destination)
-            if dropoff_ts + home_leg.time_s > driver.end_ts + 1e-9:
-                continue
-
-            # Marginal value delta_{n,m} of Eq. (14): payoff minus the extra
-            # cost of detouring through this task instead of heading straight
-            # to wherever the driver would otherwise finish.
-            current_home_leg = self._cost_model.leg(state.location, driver.destination)
-            marginal = task.price - (
-                home_leg.cost + service_cost + approach.cost - current_home_leg.cost
-            )
-            candidates.append(
-                Candidate(
-                    state=state,
-                    arrival_ts=arrival_ts,
-                    dropoff_ts=dropoff_ts,
-                    approach_cost=approach.cost,
-                    marginal_value=marginal,
-                )
-            )
-        return candidates
-
     def _commit(self, choice: Candidate, task_index: int, task: Task) -> None:
         network = self.instance.task_network
         service_cost = float(network.service_costs[task_index])
@@ -202,6 +162,7 @@ class OnlineSimulator:
             dropoff_ts=choice.dropoff_ts,
             profit_delta=profit_delta,
         )
+        self._kernel.sync(choice.state)
 
     def _settle(self, state: DriverState) -> OnlineDriverRecord:
         """Close a driver's books at the end of the stream (final leg home and

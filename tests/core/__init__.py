@@ -1,0 +1,1 @@
+"""Test package marker (keeps relative imports of tests.conftest working)."""

@@ -1,0 +1,141 @@
+"""Tests for the vectorised geo kernels (repro.geo.batch)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.geo import (
+    GeoPoint,
+    PORTO,
+    EquirectangularEstimator,
+    HaversineEstimator,
+    ManhattanEstimator,
+    coord_array,
+    cross_km,
+    equirectangular_km,
+    haversine_km,
+    manhattan_km,
+    pairwise_km,
+)
+
+SCALARS = {
+    "haversine": haversine_km,
+    "equirectangular": equirectangular_km,
+    "manhattan": manhattan_km,
+}
+
+
+def scattered(count, seed=0):
+    rng = random.Random(seed)
+    return [PORTO.sample_uniform(rng) for _ in range(count)]
+
+
+class TestCoordArray:
+    def test_from_geopoints(self):
+        pts = [GeoPoint(41.1, -8.6), GeoPoint(41.2, -8.5)]
+        arr = coord_array(pts)
+        assert arr.shape == (2, 2)
+        assert arr[0, 0] == 41.1
+        assert arr[1, 1] == -8.5
+
+    def test_from_ndarray_passthrough(self):
+        arr = np.array([[41.1, -8.6]])
+        assert coord_array(arr).shape == (1, 2)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            coord_array(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            coord_array(np.zeros(4))
+
+    def test_empty(self):
+        assert coord_array([]).shape == (0, 2)
+
+
+class TestBatchMetrics:
+    @pytest.mark.parametrize("metric", sorted(SCALARS))
+    def test_pairwise_matches_scalar(self, metric):
+        a = scattered(40, seed=1)
+        b = scattered(40, seed=2)
+        batch = pairwise_km(a, b, metric=metric)
+        scalar = SCALARS[metric]
+        for i in range(40):
+            assert batch[i] == pytest.approx(scalar(a[i], b[i]), abs=1e-9)
+
+    @pytest.mark.parametrize("metric", sorted(SCALARS))
+    def test_cross_matches_scalar(self, metric):
+        a = scattered(12, seed=3)
+        b = scattered(9, seed=4)
+        matrix = cross_km(a, b, metric=metric)
+        assert matrix.shape == (12, 9)
+        scalar = SCALARS[metric]
+        for i in range(12):
+            for j in range(9):
+                assert matrix[i, j] == pytest.approx(scalar(a[i], b[j]), abs=1e-9)
+
+    def test_pairwise_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pairwise_km(scattered(3), scattered(4))
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            cross_km(scattered(2), scattered(2), metric="euclidean")
+
+    def test_empty_inputs(self):
+        assert pairwise_km([], []).shape == (0,)
+        assert cross_km([], scattered(3)).shape == (0, 3)
+        assert cross_km(scattered(3), []).shape == (3, 0)
+
+    def test_accepts_raw_coordinate_arrays(self):
+        a, b = scattered(5, seed=5), scattered(5, seed=6)
+        from_points = cross_km(a, b)
+        from_arrays = cross_km(coord_array(a), coord_array(b))
+        np.testing.assert_array_equal(from_points, from_arrays)
+
+
+class TestEstimatorBatchApis:
+    @pytest.mark.parametrize(
+        "estimator",
+        [
+            HaversineEstimator(),
+            HaversineEstimator(circuity=1.0),
+            EquirectangularEstimator(circuity=1.2),
+            ManhattanEstimator(),
+        ],
+        ids=["haversine-1.3", "haversine-1.0", "equirect-1.2", "manhattan"],
+    )
+    def test_batch_matches_scalar_estimator(self, estimator):
+        a = scattered(20, seed=7)
+        b = scattered(20, seed=8)
+        elementwise = estimator.pairwise_km(a, b)
+        matrix = estimator.cross_km(a, b)
+        for i in range(20):
+            want = estimator.distance_km(a[i], b[i])
+            assert elementwise[i] == pytest.approx(want, abs=1e-9)
+            assert matrix[i, i] == pytest.approx(want, abs=1e-9)
+
+    def test_generic_fallback_loops_scalar(self):
+        # A custom estimator that overrides nothing but the scalar method
+        # exercises the base-class batch fallbacks.
+        from repro.geo import DistanceEstimator
+
+        class Flat(DistanceEstimator):
+            def distance_km(self, origin, destination):
+                return 1.5
+
+        flat = Flat()
+        a, b = scattered(3, seed=9), scattered(4, seed=10)
+        np.testing.assert_allclose(flat.cross_km(a, b), np.full((3, 4), 1.5))
+        np.testing.assert_allclose(flat.pairwise_km(a, a), np.full(3, 1.5))
+        assert flat.prune_radius_km(10.0) is None
+
+    def test_prune_radius_bounds_straight_line_distance(self):
+        # Points whose *estimated* distance is <= reach must lie within the
+        # pruning radius in straight-line (equirectangular) terms.
+        rng = random.Random(12)
+        for estimator in (HaversineEstimator(), EquirectangularEstimator(), ManhattanEstimator()):
+            for _ in range(200):
+                a, b = PORTO.sample_uniform(rng), PORTO.sample_uniform(rng)
+                reach = estimator.distance_km(a, b)
+                assert equirectangular_km(a, b) <= estimator.prune_radius_km(reach)

@@ -19,7 +19,13 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import MarketSolution
-from repro.geo import GeoPoint, HaversineEstimator, TravelModel
+from repro.geo import (
+    EquirectangularEstimator,
+    GeoPoint,
+    HaversineEstimator,
+    ManhattanEstimator,
+    TravelModel,
+)
 from repro.market import Driver, MarketCostModel, MarketInstance, Task, market_diameter
 from repro.offline import (
     best_path,
@@ -164,6 +170,75 @@ class TestSolverProperties:
             assert task_map.is_feasible_path(result.path)
             if result.path:
                 assert result.profit == pytest.approx(task_map.path_profit(result.path), rel=1e-9)
+
+
+coordinate = st.tuples(
+    st.floats(min_value=-89.0, max_value=89.0, allow_nan=False),
+    st.floats(min_value=-179.0, max_value=179.0, allow_nan=False),
+)
+
+coordinate_lists = st.tuples(
+    st.lists(coordinate, min_size=1, max_size=12),
+    st.lists(coordinate, min_size=1, max_size=12),
+)
+
+BATCH_ESTIMATORS = (
+    HaversineEstimator(),
+    HaversineEstimator(circuity=1.0),
+    EquirectangularEstimator(),
+    ManhattanEstimator(),
+)
+
+
+class TestBatchGeoKernelParity:
+    """The vectorised geo kernels must reproduce the scalar estimators
+    everywhere — they feed the same candidate feasibility checks."""
+
+    @given(coordinate_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_cross_km_matches_scalar_estimators(self, coords):
+        raw_a, raw_b = coords
+        a = [GeoPoint(lat, lon) for lat, lon in raw_a]
+        b = [GeoPoint(lat, lon) for lat, lon in raw_b]
+        for estimator in BATCH_ESTIMATORS:
+            matrix = estimator.cross_km(a, b)
+            assert matrix.shape == (len(a), len(b))
+            for i, origin in enumerate(a):
+                for j, destination in enumerate(b):
+                    assert matrix[i, j] == pytest.approx(
+                        estimator.distance_km(origin, destination), abs=1e-9
+                    )
+
+    @given(st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_pairwise_km_matches_scalar_estimators(self, pairs):
+        a = [GeoPoint(lat, lon) for (lat, lon), _ in pairs]
+        b = [GeoPoint(lat, lon) for _, (lat, lon) in pairs]
+        for estimator in BATCH_ESTIMATORS:
+            batch = estimator.pairwise_km(a, b)
+            for i in range(len(pairs)):
+                assert batch[i] == pytest.approx(
+                    estimator.distance_km(a[i], b[i]), abs=1e-9
+                )
+
+    @given(coordinate_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_leg_matrix_matches_scalar_legs(self, coords):
+        raw_a, raw_b = coords
+        a = [GeoPoint(lat, lon) for lat, lon in raw_a]
+        b = [GeoPoint(lat, lon) for lat, lon in raw_b]
+        cost_model = MarketCostModel(
+            TravelModel(HaversineEstimator(), speed_kmh=28.0, cost_per_km=0.11)
+        )
+        times, costs = cost_model.pairwise_leg_matrix(a, b)
+        for i, origin in enumerate(a):
+            for j, destination in enumerate(b):
+                leg = cost_model.leg(origin, destination)
+                # Times can reach ~1e6 s for near-antipodal pairs, where a
+                # few ULPs exceed any fixed absolute tolerance — allow a
+                # round-off-level relative term as well.
+                assert times[i, j] == pytest.approx(leg.time_s, rel=1e-12, abs=1e-9)
+                assert costs[i, j] == pytest.approx(leg.cost, rel=1e-12, abs=1e-9)
 
 
 class TestSolutionAlgebraProperties:
