@@ -13,6 +13,7 @@ capturing.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -82,5 +83,24 @@ def save_table():
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
         print(f"\n[{name}]\n{text}\n")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_json():
+    """Persist (and echo) a machine-readable benchmark artifact.
+
+    Scaling/streaming benchmarks write their numbers as
+    ``benchmarks/results/BENCH_<name>.json`` so CI jobs and later sessions
+    can diff wall times and speedups without parsing tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, payload: dict) -> None:
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n[BENCH_{name}.json]\n{text}\n")
 
     return _save

@@ -1,12 +1,15 @@
 """Distributed (sharded) solving of city-scale markets."""
 
 from .coordinator import (
+    EXECUTOR_POLICIES,
     SOLVER_NAMES,
     DistributedCoordinator,
     DistributedResult,
     solve_shard,
+    solve_shard_payload,
 )
 from .messages import CoordinatorReport, ShardWorkRequest, ShardWorkResult, Stopwatch
+from .payload import ShardPayload, instance_from_payload, payload_from_shard
 from .partition import (
     MarketShard,
     PartitionPlan,
@@ -28,5 +31,10 @@ __all__ = [
     "DistributedCoordinator",
     "DistributedResult",
     "solve_shard",
+    "solve_shard_payload",
     "SOLVER_NAMES",
+    "EXECUTOR_POLICIES",
+    "ShardPayload",
+    "payload_from_shard",
+    "instance_from_payload",
 ]

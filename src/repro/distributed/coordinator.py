@@ -2,20 +2,67 @@
 
 The coordinator partitions the market with a
 :class:`~repro.distributed.partition.SpatialPartitioner`, hands each shard to
-a worker (in-process, optionally on a thread pool to model parallel city /
-district solvers), and merges the shard-local assignments into one global
+a worker, and merges the shard-local assignments into one global
 :class:`~repro.core.MarketSolution`.  Because the partitioner gives every
 shard a disjoint task set, the merge needs no conflict resolution — what the
 sharding costs instead is the cross-shard trips it can no longer match, and
 that loss is exactly what the partitioning ablation benchmark measures.
+
+Choosing an executor
+--------------------
+
+Shard solving is embarrassingly parallel, but the right executor depends on
+where the time actually goes:
+
+``serial`` (default)
+    Solve shards in-process, one after another.  Zero overhead, fully
+    deterministic, the right choice for small instances, for tests and for
+    debugging — and the reference every other policy must reproduce
+    bit-identically.
+
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor` fan-out.  Threads share
+    the interpreter, so pure-Python solver time stays GIL-bound; the win is
+    limited to the NumPy kernels (leg matrices, candidate masks) that release
+    the GIL.  Cheap to start, shares memory, good for a handful of shards
+    whose cost is dominated by vectorised work.
+
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` fan-out.  Each shard
+    is flattened into an array-backed :class:`~repro.distributed.payload.ShardPayload`
+    (primal inputs only — never the object graph or cached task maps), the
+    worker rebuilds the sub-instance and solves it with its own interpreter,
+    so the whole solve — task-network construction, task maps, greedy /
+    simulator — parallelises across cores.  This is the policy that makes
+    city-scale instances scale with the machine; it pays a per-worker fork
+    and a per-shard pickle, so it only wins when per-shard solve time
+    dominates (hundreds of tasks per shard, or many shards).
+
+Choosing a shard count
+----------------------
+
+More shards mean smaller per-shard solves and a better load balance across
+workers, but every extra boundary loses the cross-shard trips the paper warns
+about (the partitioning ablation quantifies the retention loss).  Practical
+guidance: use the coarsest grid that yields at least one shard per worker
+(e.g. ``4x2`` for 4-8 workers), check
+:attr:`~repro.distributed.messages.CoordinatorReport.critical_path_speedup`
+— if it is far below the shard count, the largest shard dominates and a finer
+grid (or a better-balanced partition) is needed before more workers help.
+
+Every executor consumes the same per-shard
+:class:`~repro.distributed.messages.ShardWorkRequest` (including the
+deterministically derived per-shard seed) and the merge consumes results in
+shard order, so the merged solution is bit-identical across policies.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.objectives import Objective
 from ..core.solution import MarketSolution
@@ -25,13 +72,47 @@ from ..online.dispatchers import MaxMarginDispatcher, NearestDispatcher
 from ..online.simulator import OnlineSimulator
 from .messages import CoordinatorReport, ShardWorkRequest, ShardWorkResult, Stopwatch
 from .partition import MarketShard, PartitionPlan, SpatialPartitioner, translate_assignment
+from .payload import ShardPayload, instance_from_payload, payload_from_shard
 
 #: Shard solvers available to workers, by name.
 SOLVER_NAMES = ("greedy", "nearest", "maxMargin")
 
+#: Executor policies accepted by the coordinator.
+EXECUTOR_POLICIES = ("serial", "thread", "process")
+
+
+def _solve_instance(
+    instance: MarketInstance, request: ShardWorkRequest
+) -> Tuple[Dict[str, Tuple[int, ...]], Dict[str, float], float, int]:
+    """Run the requested solver on one (sub-)instance.
+
+    Returns ``(assignment, driver_profits, total_value, served_count)`` with
+    the assignment in shard-local task indices.
+    """
+    if request.solver_name == "greedy":
+        solution = GreedySolver().solve(instance).solution
+        assignment = solution.assignment()
+        driver_profits = {
+            plan.driver_id: plan.profit for plan in solution.iter_nonempty_plans()
+        }
+        return assignment, driver_profits, solution.total_value, solution.served_count
+    dispatcher = (
+        NearestDispatcher(seed=request.seed)
+        if request.solver_name == "nearest"
+        else MaxMarginDispatcher()
+    )
+    outcome = OnlineSimulator(instance, dispatcher).run()
+    assignment = outcome.assignment()
+    driver_profits = {
+        record.driver_id: record.profit
+        for record in outcome.records
+        if record.task_indices
+    }
+    return assignment, driver_profits, outcome.total_value, outcome.served_count
+
 
 def solve_shard(shard: MarketShard, request: ShardWorkRequest) -> ShardWorkResult:
-    """Run the requested solver on one shard (the worker's entry point)."""
+    """Run the requested solver on one shard (the in-process worker entry)."""
     if request.solver_name not in SOLVER_NAMES:
         raise ValueError(f"unknown solver {request.solver_name!r}; expected one of {SOLVER_NAMES}")
     with Stopwatch() as watch:
@@ -40,27 +121,10 @@ def solve_shard(shard: MarketShard, request: ShardWorkRequest) -> ShardWorkResul
             driver_profits: Dict[str, float] = {}
             total_value = 0.0
             served = 0
-        elif request.solver_name == "greedy":
-            solution = GreedySolver().solve(shard.instance).solution
-            assignment = solution.assignment()
-            driver_profits = {
-                plan.driver_id: plan.profit for plan in solution.iter_nonempty_plans()
-            }
-            total_value = solution.total_value
-            served = solution.served_count
         else:
-            dispatcher = (
-                NearestDispatcher() if request.solver_name == "nearest" else MaxMarginDispatcher()
+            assignment, driver_profits, total_value, served = _solve_instance(
+                shard.instance, request
             )
-            outcome = OnlineSimulator(shard.instance, dispatcher).run()
-            assignment = outcome.assignment()
-            driver_profits = {
-                record.driver_id: record.profit
-                for record in outcome.records
-                if record.task_indices
-            }
-            total_value = outcome.total_value
-            served = outcome.served_count
     return ShardWorkResult(
         shard_id=shard.spec.shard_id,
         solver_name=request.solver_name,
@@ -69,6 +133,44 @@ def solve_shard(shard: MarketShard, request: ShardWorkRequest) -> ShardWorkResul
         total_value=total_value,
         served_count=served,
         elapsed_s=watch.elapsed_s,
+    )
+
+
+def solve_shard_payload(payload: ShardPayload, request: ShardWorkRequest) -> ShardWorkResult:
+    """Process-pool worker entry: rebuild the sub-instance from its
+    array-backed payload and solve it.
+
+    Top-level (picklable by reference) on purpose; produces exactly the same
+    result as :func:`solve_shard` on the shard the payload was built from.
+    """
+    if request.solver_name not in SOLVER_NAMES:
+        raise ValueError(f"unknown solver {request.solver_name!r}; expected one of {SOLVER_NAMES}")
+    with Stopwatch() as watch:
+        assignment, driver_profits, total_value, served = _solve_instance(
+            instance_from_payload(payload), request
+        )
+    return ShardWorkResult(
+        shard_id=payload.shard_id,
+        solver_name=request.solver_name,
+        assignment=assignment,
+        driver_profits=driver_profits,
+        total_value=total_value,
+        served_count=served,
+        elapsed_s=watch.elapsed_s,
+    )
+
+
+def _empty_shard_result(shard: MarketShard, request: ShardWorkRequest) -> ShardWorkResult:
+    """The (trivial) result of a degenerate shard, synthesised in-line by the
+    coordinator so no future is ever submitted for it."""
+    return ShardWorkResult(
+        shard_id=shard.spec.shard_id,
+        solver_name=request.solver_name,
+        assignment={},
+        driver_profits={},
+        total_value=0.0,
+        served_count=0,
+        elapsed_s=0.0,
     )
 
 
@@ -82,7 +184,30 @@ class DistributedResult:
 
 
 class DistributedCoordinator:
-    """Partition, dispatch to workers, merge."""
+    """Partition, dispatch to workers, merge.
+
+    Parameters
+    ----------
+    partitioner:
+        The spatial partitioner producing disjoint-task shards.
+    solver_name:
+        Shard solver: ``"greedy"``, ``"nearest"`` or ``"maxMargin"``.
+    executor:
+        Fan-out policy: ``"serial"``, ``"thread"`` or ``"process"`` (see the
+        module docstring for how to choose).  Defaults to ``"serial"`` unless
+        the legacy ``parallel=True`` flag selects ``"thread"``.
+    parallel:
+        Deprecated alias kept for backwards compatibility: ``parallel=True``
+        is the old thread-pool mode and is equivalent to
+        ``executor="thread"``.
+    max_workers:
+        Pool width for the thread/process policies (``None`` lets the pool
+        pick its default).
+    base_seed:
+        Base of the deterministic per-shard seeds (shard ``k`` receives
+        ``base_seed + k``), so stochastic shard solvers are reproducible and
+        executor-independent.
+    """
 
     def __init__(
         self,
@@ -90,13 +215,27 @@ class DistributedCoordinator:
         solver_name: str = "greedy",
         parallel: bool = False,
         max_workers: Optional[int] = None,
+        executor: Optional[str] = None,
+        base_seed: int = 0,
     ) -> None:
         if solver_name not in SOLVER_NAMES:
             raise ValueError(f"unknown solver {solver_name!r}; expected one of {SOLVER_NAMES}")
+        if executor is None:
+            executor = "thread" if parallel else "serial"
+        if executor not in EXECUTOR_POLICIES:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTOR_POLICIES}"
+            )
         self.partitioner = partitioner
         self.solver_name = solver_name
-        self.parallel = parallel
+        self.executor = executor
         self.max_workers = max_workers
+        self.base_seed = base_seed
+
+    @property
+    def parallel(self) -> bool:
+        """Legacy flag: whether a pooled executor is configured."""
+        return self.executor != "serial"
 
     def solve(self, instance: MarketInstance) -> DistributedResult:
         """Solve ``instance`` shard by shard and merge the results."""
@@ -108,36 +247,93 @@ class DistributedCoordinator:
                 driver_count=shard.driver_count,
                 task_count=shard.task_count,
                 solver_name=self.solver_name,
+                seed=self.base_seed + shard.spec.shard_id,
             )
             for shard in plan.shards
         ]
 
-        if self.parallel and len(plan.shards) > 1:
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                results = list(pool.map(solve_shard, plan.shards, requests))
-        else:
-            results = [solve_shard(shard, req) for shard, req in zip(plan.shards, requests)]
+        # Degenerate shards (no tasks or no drivers) are short-circuited
+        # in-line: they never reach an executor, but they keep their slot in
+        # the per-shard report series so merged reports still count them.
+        results: List[Optional[ShardWorkResult]] = [None] * len(plan.shards)
+        live: List[int] = []
+        for position, (shard, request) in enumerate(zip(plan.shards, requests)):
+            if shard.task_count == 0 or shard.driver_count == 0:
+                results[position] = _empty_shard_result(shard, request)
+            else:
+                live.append(position)
+
+        worker_count = self._resolve_worker_count(len(live))
+        for position, result in zip(live, self._solve_live(plan, requests, live, worker_count)):
+            results[position] = result
+        solved = [result for result in results if result is not None]
 
         merged: Dict[str, Tuple[int, ...]] = {}
         merged_profits: Dict[str, float] = {}
-        for shard, result in zip(plan.shards, results):
+        for shard, result in zip(plan.shards, solved):
             merged.update(translate_assignment(shard, result.assignment))
             merged_profits.update(result.driver_profits)
 
         solution = self._merge_solution(instance, merged, merged_profits)
         wall_clock = time.perf_counter() - start
-        durations = tuple(r.elapsed_s for r in results)
+        durations = tuple(r.elapsed_s for r in solved)
         report = CoordinatorReport(
             shard_count=plan.shard_count,
             total_value=solution.total_value,
             served_count=solution.served_count,
             wall_clock_s=wall_clock,
             slowest_shard_s=max(durations) if durations else 0.0,
-            per_shard_values=tuple(r.total_value for r in results),
+            per_shard_values=tuple(r.total_value for r in solved),
             per_shard_durations=durations,
+            executor=self.executor,
+            worker_count=worker_count,
+            empty_shard_count=len(plan.shards) - len(live),
         )
         return DistributedResult(solution=solution, report=report, plan=plan)
 
+    # ------------------------------------------------------------------
+    # fan-out
+    # ------------------------------------------------------------------
+    def _resolve_worker_count(self, live_count: int) -> int:
+        """The actual pool width the fan-out runs with (mirrors the
+        executors' own ``max_workers`` defaults), capped by the live shards."""
+        if self.executor == "serial" or live_count <= 1:
+            return 1
+        if self.max_workers is not None:
+            pool_width = self.max_workers
+        elif self.executor == "thread":
+            pool_width = min(32, (os.cpu_count() or 1) + 4)  # ThreadPoolExecutor default
+        else:
+            pool_width = os.cpu_count() or 1  # ProcessPoolExecutor default
+        return max(1, min(pool_width, live_count))
+
+    def _solve_live(
+        self,
+        plan: PartitionPlan,
+        requests: List[ShardWorkRequest],
+        live: List[int],
+        worker_count: int,
+    ) -> List[ShardWorkResult]:
+        """Solve the non-degenerate shards under the configured policy,
+        returning results in ``live`` order.
+
+        The pools are created with the already-resolved ``worker_count``, so
+        the width the report claims is the width that actually ran.
+        """
+        shards = [plan.shards[position] for position in live]
+        reqs = [requests[position] for position in live]
+        if self.executor == "serial" or len(live) <= 1:
+            return [solve_shard(shard, req) for shard, req in zip(shards, reqs)]
+        if self.executor == "thread":
+            with ThreadPoolExecutor(max_workers=worker_count) as pool:
+                return list(pool.map(solve_shard, shards, reqs))
+        payloads = [payload_from_shard(shard) for shard in shards]
+        with ProcessPoolExecutor(max_workers=worker_count) as pool:
+            return list(pool.map(solve_shard_payload, payloads, reqs))
+
+    # ------------------------------------------------------------------
+    # merge
+    # ------------------------------------------------------------------
     def _merge_solution(
         self,
         instance: MarketInstance,

@@ -25,6 +25,11 @@ class ShardWorkRequest:
     task_count: int
     #: Which solver the worker should run ("greedy", "nearest", "maxMargin").
     solver_name: str
+    #: Seed for the shard's stochastic tie-breaking (random/nearest dispatch).
+    #: The coordinator derives it deterministically from its base seed and the
+    #: shard id, so any executor — serial, thread pool or process pool —
+    #: hands every shard the same seed and the merged solution is identical.
+    seed: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,6 +69,13 @@ class CoordinatorReport:
 
     #: Populated by the coordinator; kept separate from values for clarity.
     per_shard_durations: Tuple[float, ...] = ()
+    #: Executor policy the coordinator ran with ("serial", "thread", "process").
+    executor: str = "serial"
+    #: Worker-pool width used for the fan-out (1 for the serial policy).
+    worker_count: int = 1
+    #: How many shards were degenerate (no tasks or no drivers) and were
+    #: short-circuited by the coordinator without ever reaching a worker.
+    empty_shard_count: int = 0
 
 
 class Stopwatch:

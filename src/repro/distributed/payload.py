@@ -1,0 +1,151 @@
+"""Array-backed shard payloads for the process-pool executor.
+
+A :class:`~repro.distributed.partition.MarketShard` carries a full
+:class:`~repro.market.instance.MarketInstance` object graph — drivers, tasks
+and (possibly) the lazily cached task network and per-driver task maps.
+Pickling that graph into a worker process would ship megabytes of derived
+state the worker is going to rebuild anyway, so the process executor ships a
+:class:`ShardPayload` instead: the *primal* inputs of the shard flattened
+into a handful of NumPy arrays plus the (tiny) cost-model configuration.
+
+The round trip is exact: coordinates, timestamps and prices are stored as
+``float64`` (the same representation the entities hold), so the instance a
+worker rebuilds with :func:`instance_from_payload` is value-identical to the
+shard's own sub-instance and every deterministic solver produces bit-identical
+results on either side of the pickle boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..market.cost import MarketCostModel
+from ..market.driver import Driver
+from ..market.instance import MarketInstance
+from ..market.task import Task
+from ..geo import GeoPoint
+from .partition import MarketShard
+
+
+@dataclass(frozen=True)
+class ShardPayload:
+    """One shard's primal inputs, flattened for cheap pickling.
+
+    ``driver_coords`` holds ``(src_lat, src_lon, dst_lat, dst_lon)`` per
+    driver; ``task_coords`` the same per task.  ``task_times`` holds
+    ``(publish_ts, start_deadline_ts, end_deadline_ts)``.  Optional task
+    fields (willingness to pay, recorded trip distance) use ``NaN`` as the
+    "not supplied" sentinel, which is unambiguous because both are validated
+    non-negative on construction.
+    """
+
+    shard_id: int
+    driver_ids: Tuple[str, ...]
+    driver_coords: np.ndarray  # (N, 4)
+    driver_windows: np.ndarray  # (N, 2): start_ts, end_ts
+    task_ids: Tuple[str, ...]
+    task_coords: np.ndarray  # (M, 4)
+    task_times: np.ndarray  # (M, 3): publish, start deadline, end deadline
+    task_prices: np.ndarray  # (M,)
+    task_wtps: np.ndarray  # (M,), NaN where the task had no WTP
+    task_distances: np.ndarray  # (M,), NaN where no trace distance was known
+    cost_model: MarketCostModel
+
+    @property
+    def driver_count(self) -> int:
+        return len(self.driver_ids)
+
+    @property
+    def task_count(self) -> int:
+        return len(self.task_ids)
+
+
+def payload_from_shard(shard: MarketShard) -> ShardPayload:
+    """Flatten a shard's sub-instance into a :class:`ShardPayload`."""
+    instance = shard.instance
+    n, m = instance.driver_count, instance.task_count
+
+    driver_coords = np.empty((n, 4), dtype=float)
+    driver_windows = np.empty((n, 2), dtype=float)
+    for i, driver in enumerate(instance.drivers):
+        driver_coords[i] = (
+            driver.source.lat,
+            driver.source.lon,
+            driver.destination.lat,
+            driver.destination.lon,
+        )
+        driver_windows[i] = (driver.start_ts, driver.end_ts)
+
+    task_coords = np.empty((m, 4), dtype=float)
+    task_times = np.empty((m, 3), dtype=float)
+    task_prices = np.empty(m, dtype=float)
+    task_wtps = np.full(m, np.nan, dtype=float)
+    task_distances = np.full(m, np.nan, dtype=float)
+    for j, task in enumerate(instance.tasks):
+        task_coords[j] = (
+            task.source.lat,
+            task.source.lon,
+            task.destination.lat,
+            task.destination.lon,
+        )
+        task_times[j] = (task.publish_ts, task.start_deadline_ts, task.end_deadline_ts)
+        task_prices[j] = task.price
+        if task.wtp is not None:
+            task_wtps[j] = task.wtp
+        if task.distance_km is not None:
+            task_distances[j] = task.distance_km
+
+    return ShardPayload(
+        shard_id=shard.spec.shard_id,
+        driver_ids=tuple(d.driver_id for d in instance.drivers),
+        driver_coords=driver_coords,
+        driver_windows=driver_windows,
+        task_ids=tuple(t.task_id for t in instance.tasks),
+        task_coords=task_coords,
+        task_times=task_times,
+        task_prices=task_prices,
+        task_wtps=task_wtps,
+        task_distances=task_distances,
+        cost_model=instance.cost_model,
+    )
+
+
+def instance_from_payload(payload: ShardPayload) -> MarketInstance:
+    """Rebuild the shard's sub-instance (value-identical to the original)."""
+    drivers = tuple(
+        Driver(
+            driver_id=driver_id,
+            source=GeoPoint(float(coords[0]), float(coords[1])),
+            destination=GeoPoint(float(coords[2]), float(coords[3])),
+            start_ts=float(window[0]),
+            end_ts=float(window[1]),
+        )
+        for driver_id, coords, window in zip(
+            payload.driver_ids, payload.driver_coords, payload.driver_windows
+        )
+    )
+    tasks = tuple(
+        Task(
+            task_id=task_id,
+            publish_ts=float(times[0]),
+            source=GeoPoint(float(coords[0]), float(coords[1])),
+            destination=GeoPoint(float(coords[2]), float(coords[3])),
+            start_deadline_ts=float(times[1]),
+            end_deadline_ts=float(times[2]),
+            price=float(price),
+            wtp=None if np.isnan(wtp) else float(wtp),
+            distance_km=None if np.isnan(distance) else float(distance),
+        )
+        for task_id, coords, times, price, wtp, distance in zip(
+            payload.task_ids,
+            payload.task_coords,
+            payload.task_times,
+            payload.task_prices,
+            payload.task_wtps,
+            payload.task_distances,
+        )
+    )
+    return MarketInstance(drivers=drivers, tasks=tasks, cost_model=payload.cost_model)

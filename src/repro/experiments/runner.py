@@ -48,8 +48,14 @@ class FullRunResult:
 def run_everything(
     scale: Optional[ExperimentScale] = None,
     bound_kind: BoundKind = BoundKind.LP_RELAXATION,
+    partition_executor: str = "serial",
 ) -> FullRunResult:
-    """Run every experiment at the given scale (default: the reduced scale)."""
+    """Run every experiment at the given scale (default: the reduced scale).
+
+    ``partition_executor`` selects the distributed coordinator's fan-out for
+    the partitioning ablation (``"process"`` uses every core on city-scale
+    runs; the merged solutions are executor-independent).
+    """
     chosen_scale = scale or DEFAULT_SCALE
     hitch_cfg = ExperimentConfig(scale=chosen_scale, working_model=WorkingModel.HITCHHIKING)
     hwh_cfg = ExperimentConfig(scale=chosen_scale, working_model=WorkingModel.HOME_WORK_HOME)
@@ -60,7 +66,9 @@ def run_everything(
         fig5_home_work_home=run_fig5(config=hwh_cfg, bound_kind=bound_kind),
         market_insights=run_market_insight_sweep(config=hitch_cfg),
         surge_ablation=run_surge_ablation(config=hitch_cfg),
-        partition_ablation=run_partition_ablation(config=hitch_cfg),
+        partition_ablation=run_partition_ablation(
+            config=hitch_cfg, executor=partition_executor
+        ),
     )
 
 

@@ -10,6 +10,7 @@ from .graph import (
     market_diameter,
 )
 from .instance import MarketInstance, market_from_trace, tasks_from_trips
+from .streaming import StreamingMarketInstance
 from .task import Task
 from .taskmap import (
     SINK_NODE,
@@ -27,6 +28,7 @@ __all__ = [
     "Leg",
     "MarketCostModel",
     "MarketInstance",
+    "StreamingMarketInstance",
     "market_from_trace",
     "tasks_from_trips",
     "TaskNetwork",

@@ -1,0 +1,322 @@
+"""A streaming market instance with incremental task-map maintenance.
+
+:class:`~repro.market.instance.MarketInstance` is an immutable snapshot: its
+``with_tasks`` slicer throws away the shared task network and every
+per-driver task map, so feeding an order *stream* through it rebuilds
+``O((N + M) · M)`` state on every arrival batch.  The fleet-batched builders
+of :mod:`repro.market.taskmap` make the marginal work of one batch small —
+only the *new columns* of every matrix change — and
+:class:`StreamingMarketInstance` exploits exactly that:
+
+* the shared :class:`~repro.market.taskmap.TaskNetwork` grows by the new
+  tasks' rows/columns only (two block leg-matrix calls instead of the full
+  ``M x M`` matrix);
+* every driver's :class:`~repro.market.taskmap.DriverTaskMap` is extended by
+  the new columns with two fleet-batched block calls (``N x new`` instead of
+  ``N x M``), chunked exactly like the full builder;
+* the arithmetic replicates :func:`~repro.market.taskmap.build_task_network` /
+  :func:`~repro.market.taskmap.build_driver_task_maps` element for element
+  (the batch kernels are elementwise), so every array is **bit-identical** to
+  a from-scratch rebuild — the equivalence property tests in
+  ``tests/market/test_streaming.py`` pin this.
+
+The cost of appending a batch of ``B`` tasks to an instance holding ``M``
+tasks and ``N`` drivers is ``O((N + M) · B)`` versus ``O((N + M) · M)`` for
+the rebuild a plain ``with_tasks`` forces — sublinear in the instance size,
+which is what lets the online simulators consume a full day as a stream.
+
+``append_tasks`` also reports which drivers are *affected* — gained at least
+one entry-feasible task — so streaming consumers (dispatch loops, re-solvers)
+know whom to reconsider without diffing the maps themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cost import MarketCostModel
+from .driver import Driver
+from .instance import MarketInstance
+from .task import Task
+from .taskmap import (
+    DriverTaskMap,
+    TaskNetwork,
+    build_driver_task_maps,
+    build_task_network,
+)
+
+#: Fleet chunk bounding peak memory of the batched column extension, matching
+#: the full builder's chunking (the values are chunk-size independent).
+_FLEET_CHUNK = 512
+
+
+class StreamingMarketInstance:
+    """A market instance whose task set grows in publish-ordered batches.
+
+    Exposes the read API of :class:`~repro.market.instance.MarketInstance`
+    (``drivers`` / ``tasks`` / ``cost_model`` / ``task_network`` /
+    ``task_maps`` / ``task_map`` / counts), so solvers and simulators consume
+    it unchanged; :meth:`append_tasks` is the streaming entry point.
+    """
+
+    def __init__(
+        self,
+        drivers: Iterable[Driver],
+        cost_model: Optional[MarketCostModel] = None,
+        tasks: Iterable[Task] = (),
+    ) -> None:
+        self._drivers: Tuple[Driver, ...] = tuple(drivers)
+        driver_ids = [d.driver_id for d in self._drivers]
+        if len(set(driver_ids)) != len(driver_ids):
+            raise ValueError("driver ids must be unique")
+        self._cost_model = cost_model or MarketCostModel()
+        self._tasks: List[Task] = []
+        self._tasks_tuple: Optional[Tuple[Task, ...]] = ()
+        self._task_ids: set = set()
+        self._network: TaskNetwork = build_task_network((), self._cost_model)
+        self._maps: Dict[str, DriverTaskMap] = build_driver_task_maps(
+            self._drivers, self._network, self._cost_model
+        )
+        initial = tuple(tasks)
+        if initial:
+            self.append_tasks(initial)
+
+    @classmethod
+    def from_instance(cls, instance: MarketInstance) -> "StreamingMarketInstance":
+        """Seed a stream with an existing instance's drivers and tasks."""
+        return cls(instance.drivers, instance.cost_model, instance.tasks)
+
+    # ------------------------------------------------------------------
+    # MarketInstance read API
+    # ------------------------------------------------------------------
+    @property
+    def drivers(self) -> Tuple[Driver, ...]:
+        return self._drivers
+
+    @property
+    def tasks(self) -> Tuple[Task, ...]:
+        # Cached between appends: the simulators subscript this property per
+        # pending task per window, so rebuilding an O(M) tuple on every
+        # access would make a long stream quadratic.
+        if self._tasks_tuple is None:
+            self._tasks_tuple = tuple(self._tasks)
+        return self._tasks_tuple
+
+    @property
+    def cost_model(self) -> MarketCostModel:
+        return self._cost_model
+
+    @property
+    def driver_count(self) -> int:
+        return len(self._drivers)
+
+    @property
+    def task_count(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def task_network(self) -> TaskNetwork:
+        return self._network
+
+    @property
+    def task_maps(self) -> Dict[str, DriverTaskMap]:
+        return self._maps
+
+    def task_map(self, driver_id: str) -> DriverTaskMap:
+        try:
+            return self._maps[driver_id]
+        except KeyError:
+            raise KeyError(f"unknown driver id {driver_id!r}") from None
+
+    def task_index(self, task_id: str) -> int:
+        for index, task in enumerate(self._tasks):
+            if task.task_id == task_id:
+                return index
+        raise KeyError(f"unknown task id {task_id!r}")
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MarketInstance:
+        """An immutable :class:`MarketInstance` view of the current state.
+
+        The incrementally maintained network and maps are *shared* with the
+        snapshot (they are exactly what the snapshot would lazily build), so
+        taking one is O(M) for the task tuple, never a rebuild.
+        """
+        instance = MarketInstance(
+            drivers=self._drivers, tasks=tuple(self._tasks), cost_model=self._cost_model
+        )
+        instance.__dict__["task_network"] = self._network
+        instance.__dict__["task_maps"] = self._maps
+        return instance
+
+    def rebuild(self) -> MarketInstance:
+        """A from-scratch :class:`MarketInstance` over the same inputs (the
+        reference the incremental state must match bit for bit)."""
+        return MarketInstance(
+            drivers=self._drivers, tasks=tuple(self._tasks), cost_model=self._cost_model
+        )
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    def append_tasks(self, new_tasks: Iterable[Task]) -> Tuple[str, ...]:
+        """Append a batch of tasks, extending the network and every task map
+        incrementally.
+
+        Returns the ids of the *affected* drivers: those for whom at least
+        one of the new tasks is entry-feasible (appears in their
+        :meth:`~repro.market.taskmap.DriverTaskMap.entry_tasks`).
+        """
+        batch = tuple(new_tasks)
+        if not batch:
+            return ()
+        for task in batch:
+            if task.task_id in self._task_ids:
+                raise ValueError(f"duplicate task id {task.task_id!r}")
+        if len({t.task_id for t in batch}) != len(batch):
+            raise ValueError("duplicate task id inside the appended batch")
+
+        old_count = self._network.task_count
+        self._network = self._extend_network(batch)
+        affected = self._extend_maps(batch, old_count)
+        self._tasks.extend(batch)
+        self._tasks_tuple = None
+        self._task_ids.update(t.task_id for t in batch)
+        return affected
+
+    # ------------------------------------------------------------------
+    # incremental construction internals
+    # ------------------------------------------------------------------
+    def _extend_network(self, batch: Tuple[Task, ...]) -> TaskNetwork:
+        """The old network plus the new tasks' rows and columns.
+
+        Replicates :func:`build_task_network` block-wise: the ``old -> new``
+        and ``new -> all`` leg blocks are the only parts of the full pairwise
+        matrix that involve a new task, and the batch kernels are elementwise,
+        so every stored value matches the full rebuild exactly.
+        """
+        net = self._network
+        cost_model = self._cost_model
+        old_count = net.task_count
+        all_tasks = tuple(net.tasks) + batch
+
+        durations_new = np.array([cost_model.task_duration_s(t) for t in batch])
+        service_costs_new = np.array([cost_model.task_cost(t) for t in batch])
+        prices_new = np.array([t.price for t in batch])
+        valuations_new = np.array([t.valuation for t in batch])
+        sdl_new = np.array([t.start_deadline_ts for t in batch])
+        edl_new = np.array([t.end_deadline_ts for t in batch])
+        servable_new = durations_new <= (edl_new - sdl_new) + 1e-9
+
+        sdl_all = np.concatenate(
+            [np.array([t.start_deadline_ts for t in net.tasks]), sdl_new]
+        ) if old_count else sdl_new
+        edl_old = np.array([t.end_deadline_ts for t in net.tasks])
+        servable_all = np.concatenate([net.servable, servable_new])
+
+        sources_new = [t.source for t in batch]
+        destinations_new = [t.destination for t in batch]
+        sources_all = [t.source for t in all_tasks]
+
+        successors = list(net.successors)
+        leg_times = list(net.leg_times)
+        leg_costs = list(net.leg_costs)
+
+        if old_count:
+            # old -> new arcs: destinations of old tasks to sources of new.
+            destinations_old = [t.destination for t in net.tasks]
+            time_block, cost_block = cost_model.pairwise_leg_matrix(
+                destinations_old, sources_new
+            )  # (old, B)
+            connectable = time_block <= (sdl_new[None, :] - edl_old[:, None]) + 1e-9
+            connectable &= servable_new[None, :]
+            connectable &= net.servable[:, None]
+            for m in range(old_count):
+                extra = np.nonzero(connectable[m])[0]
+                if extra.size == 0:
+                    continue
+                successors[m] = np.concatenate([successors[m], old_count + extra])
+                leg_times[m] = np.concatenate([leg_times[m], time_block[m, extra]])
+                leg_costs[m] = np.concatenate([leg_costs[m], cost_block[m, extra]])
+
+        # new -> all arcs: destinations of new tasks to every source.
+        time_block, cost_block = cost_model.pairwise_leg_matrix(
+            destinations_new, sources_all
+        )  # (B, old + B)
+        connectable = time_block <= (sdl_all[None, :] - edl_new[:, None]) + 1e-9
+        for i in range(len(batch)):
+            connectable[i, old_count + i] = False  # no self-arc
+        connectable &= servable_all[None, :]
+        connectable &= servable_new[:, None]
+        for i in range(len(batch)):
+            succ = np.nonzero(connectable[i])[0]
+            successors.append(succ)
+            leg_times.append(time_block[i, succ])
+            leg_costs.append(cost_block[i, succ])
+
+        return TaskNetwork(
+            tasks=all_tasks,
+            durations_s=np.concatenate([net.durations_s, durations_new]),
+            service_costs=np.concatenate([net.service_costs, service_costs_new]),
+            prices=np.concatenate([net.prices, prices_new]),
+            valuations=np.concatenate([net.valuations, valuations_new]),
+            servable=servable_all,
+            successors=tuple(successors),
+            leg_times=tuple(leg_times),
+            leg_costs=tuple(leg_costs),
+            topo_order=np.argsort(sdl_all, kind="stable"),
+        )
+
+    def _extend_maps(self, batch: Tuple[Task, ...], old_count: int) -> Tuple[str, ...]:
+        """Extend every driver's task map by the new columns (fleet-batched,
+        chunked like :func:`build_driver_task_maps`) and collect the drivers
+        that gained an entry-feasible task."""
+        network = self._network
+        cost_model = self._cost_model
+        fleet = self._drivers
+        if not fleet:
+            return ()
+
+        sources_new = [t.source for t in batch]
+        destinations_new = [t.destination for t in batch]
+        sdl_new = np.array([t.start_deadline_ts for t in batch])
+        edl_new = np.array([t.end_deadline_ts for t in batch])
+        servable_new = network.servable[old_count:]
+
+        affected: List[str] = []
+        maps: Dict[str, DriverTaskMap] = {}
+        for lo in range(0, len(fleet), _FLEET_CHUNK):
+            chunk = fleet[lo : lo + _FLEET_CHUNK]
+            source_times, source_costs = cost_model.pairwise_leg_matrix(
+                [d.source for d in chunk], sources_new
+            )  # (chunk, B)
+            sink_times, sink_costs = cost_model.pairwise_leg_matrix(
+                destinations_new, [d.destination for d in chunk]
+            )  # (B, chunk)
+            for j, driver in enumerate(chunk):
+                old_map = self._maps[driver.driver_id]
+                src_t = np.ascontiguousarray(source_times[j])
+                src_c = np.ascontiguousarray(source_costs[j])
+                snk_t = np.ascontiguousarray(sink_times[:, j])
+                snk_c = np.ascontiguousarray(sink_costs[:, j])
+                exit_new = servable_new & (snk_t <= (driver.end_ts - edl_new) + 1e-9)
+                entry_new = exit_new & (src_t <= (sdl_new - driver.start_ts) + 1e-9)
+                if entry_new.any():
+                    affected.append(driver.driver_id)
+                maps[driver.driver_id] = DriverTaskMap(
+                    driver=driver,
+                    network=network,
+                    entry_ok=np.concatenate([old_map.entry_ok, entry_new]),
+                    exit_ok=np.concatenate([old_map.exit_ok, exit_new]),
+                    source_leg_times=np.concatenate([old_map.source_leg_times, src_t]),
+                    source_leg_costs=np.concatenate([old_map.source_leg_costs, src_c]),
+                    sink_leg_times=np.concatenate([old_map.sink_leg_times, snk_t]),
+                    sink_leg_costs=np.concatenate([old_map.sink_leg_costs, snk_c]),
+                    direct_leg=old_map.direct_leg,
+                )
+        self._maps = maps
+        return tuple(affected)

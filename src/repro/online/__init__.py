@@ -1,6 +1,6 @@
 """Online dispatch: driver state, dispatch heuristics and the simulator."""
 
-from .batch import BatchConfig, BatchedSimulator, run_batched
+from .batch import BatchConfig, BatchedSimulator, run_batched, run_batched_stream, window_batches
 from .candidates import CandidateKernel
 from .dispatchers import Dispatcher, MaxMarginDispatcher, NearestDispatcher, RandomDispatcher
 from .outcome import OnlineDriverRecord, OnlineOutcome
@@ -24,6 +24,8 @@ __all__ = [
     "BatchConfig",
     "BatchedSimulator",
     "run_batched",
+    "run_batched_stream",
+    "window_batches",
     "DemandHeatmap",
     "RepositioningPolicy",
     "RepositioningMove",

@@ -15,18 +15,28 @@ state as the per-order simulator:
 2. at the end of each window the feasible (driver, order) pairs are priced by
    the marginal value ``delta_{n,m}`` (Eq. 14 of the paper);
 3. a maximum-weight assignment over those pairs is solved with the Hungarian
-   algorithm (``scipy.optimize.linear_sum_assignment``), so each driver picks
-   up at most one *new* order per window and each order goes to at most one
-   driver;
+   algorithm (``scipy.optimize.linear_sum_assignment``).  The assignment
+   matrix is shrunk first: the candidate kernel's spatial index restricts the
+   driver axis to the window's union of reach, and only drivers with at least
+   one feasible pair become columns — both strict supersets of the feasible
+   pairs, so the solve sees every real option at a fraction of the
+   ``(tasks x fleet)`` width;
 4. drivers advance exactly as in the per-order simulator, and unassigned
    orders whose pickup deadline has not passed roll over into the next
    window.
+
+The simulator also runs *live*: :meth:`BatchedSimulator.run_stream` consumes
+publish-ordered arrival batches through a
+:class:`~repro.market.streaming.StreamingMarketInstance`, appending each
+batch incrementally (never rebuilding task maps) and dispatching the same
+windows :meth:`run` would — :func:`window_batches` produces exactly that
+grouping, and the stream/replay parity test pins the equivalence.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import optimize
@@ -62,14 +72,55 @@ class BatchConfig:
     #: window instead of nested Python loops); ``False`` falls back to the
     #: scalar reference loop, which yields the same candidates.
     use_vectorized_kernel: bool = True
+    #: Shrink each window's driver axis to the union of the tasks' spatial
+    #: reach (a grid range query per task).  Superset-safe: candidates and
+    #: outcomes are identical with the index on or off.
+    use_spatial_index: bool = True
 
     def __post_init__(self) -> None:
         if self.window_s <= 0:
             raise ValueError("window_s must be positive")
 
 
+def _publish_slot(publish_ts: float, first_publish: float, window_s: float) -> int:
+    """The dispatch-window slot of a publish time.
+
+    The single source of truth shared by :meth:`BatchedSimulator._windows`,
+    :meth:`BatchedSimulator.run_stream` and :func:`window_batches` — the
+    stream/replay parity guarantee rests on all three agreeing.
+    """
+    return int((publish_ts - first_publish) // window_s)
+
+
+def window_batches(tasks: Iterable[Task], window_s: float) -> List[List[Task]]:
+    """Group publishable tasks into publish-ordered arrival batches, one per
+    dispatch window.
+
+    Feeding these batches to :meth:`BatchedSimulator.run_stream` dispatches
+    exactly the windows :meth:`BatchedSimulator.run` derives from the full
+    task set, which makes replay/stream parity testable.
+    """
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    publishable = [t for t in tasks if t.is_publishable]
+    publishable.sort(key=lambda t: t.publish_ts)  # stable: input order on ties
+    if not publishable:
+        return []
+    first_publish = publishable[0].publish_ts
+    slots: Dict[int, List[Task]] = {}
+    for task in publishable:
+        slots.setdefault(_publish_slot(task.publish_ts, first_publish, window_s), []).append(task)
+    return [batch for _slot, batch in sorted(slots.items())]
+
+
 class BatchedSimulator:
-    """Rolling-horizon batched dispatch over a market instance."""
+    """Rolling-horizon batched dispatch over a market instance.
+
+    ``instance`` may be a plain :class:`~repro.market.instance.MarketInstance`
+    (replay of a known task set via :meth:`run`) or a
+    :class:`~repro.market.streaming.StreamingMarketInstance` (live
+    consumption of arrival batches via :meth:`run_stream`).
+    """
 
     name = "batched"
 
@@ -78,57 +129,136 @@ class BatchedSimulator:
         self.config = config or BatchConfig()
         self._cost_model = instance.cost_model
         self._kernel: Optional[CandidateKernel] = None
+        self._states: Dict[str, DriverState] = {}
+        self._pending: List[int] = []
+        self._rejected: List[int] = []
 
     # ------------------------------------------------------------------
-    # main loop
+    # main loops
     # ------------------------------------------------------------------
     def run(self) -> OnlineOutcome:
-        """Simulate the full order stream window by window."""
-        states = {
+        """Simulate the full (already known) order stream window by window."""
+        self._begin()
+        for window_end, arrivals in self._windows():
+            self._pending.extend(arrivals)
+            self._step_window(window_end)
+        return self._finish()
+
+    def run_stream(self, arrival_batches: Iterable[Sequence[Task]]) -> OnlineOutcome:
+        """Consume a live order stream through a streaming instance.
+
+        Each batch is appended to the instance incrementally
+        (``append_tasks``) and mirrored into the candidate kernel.  Windows
+        close on a *watermark*: a publish slot is dispatched only once a
+        later-slot order proves it complete (or the stream ends), so any
+        publish-ordered batching — window-aligned, one order per batch, or
+        anything between — dispatches exactly the windows :meth:`run`
+        derives from the full task set.  Batches must arrive in publish-time
+        order; an order publishing before an already-dispatched window
+        raises.
+        """
+        append = getattr(self.instance, "append_tasks", None)
+        if append is None:
+            raise TypeError(
+                "run_stream needs a streaming instance with append_tasks(); "
+                "use StreamingMarketInstance (or run() for a static instance)"
+            )
+        self._begin()
+        window_s = self.config.window_s
+        first_publish: Optional[float] = None
+        watermark = float("-inf")  # highest publish time accepted so far
+        open_slot: Optional[int] = None
+        open_arrivals: List[int] = []
+
+        def flush() -> None:
+            if open_slot is None or not open_arrivals:
+                return
+            self._pending.extend(open_arrivals)
+            self._step_window(first_publish + (open_slot + 1) * window_s)
+            open_arrivals.clear()
+
+        for batch in arrival_batches:
+            batch = tuple(batch)
+            if not batch:
+                continue
+            start_index = self.instance.task_count
+            append(batch)
+            self._kernel.extend_tasks()
+            arrivals = [
+                start_index + offset
+                for offset, task in enumerate(batch)
+                if task.is_publishable
+            ]
+            if not arrivals:
+                continue
+            tasks = self.instance.tasks
+            arrivals.sort(key=lambda m: (tasks[m].publish_ts, m))
+            if first_publish is None:
+                first_publish = tasks[arrivals[0]].publish_ts
+            for m in arrivals:
+                publish_ts = tasks[m].publish_ts
+                if publish_ts < watermark:
+                    raise ValueError(
+                        "arrival batches must be publish-ordered: task "
+                        f"{tasks[m].task_id!r} publishes at {publish_ts} "
+                        f"behind the stream watermark {watermark}"
+                    )
+                watermark = publish_ts
+                slot = _publish_slot(publish_ts, first_publish, window_s)
+                if open_slot is None:
+                    open_slot = slot
+                elif slot > open_slot:
+                    flush()
+                    open_slot = slot
+                open_arrivals.append(m)
+        flush()
+        return self._finish()
+
+    # ------------------------------------------------------------------
+    # shared machinery
+    # ------------------------------------------------------------------
+    def _begin(self) -> None:
+        self._states = {
             driver.driver_id: DriverState.fresh(driver) for driver in self.instance.drivers
         }
         self._kernel = CandidateKernel(
             self.instance,
-            states.values(),
+            self._states.values(),
             wait_for_pickup_deadline=self.config.wait_for_pickup_deadline,
             use_recorded_duration=self.config.use_recorded_duration,
             vectorized=self.config.use_vectorized_kernel,
-            # The window path builds full cost matrices; the per-task grid
-            # prefilter would not be consulted anyway.
-            spatial_index=False,
+            spatial_index=self.config.use_spatial_index,
         )
-        pending: List[int] = []
-        rejected: List[int] = []
+        self._pending = []
+        self._rejected = []
 
-        for window_end, arrivals in self._windows():
-            pending.extend(arrivals)
-            if not pending:
-                continue
-            for state in states.values():
-                state.release_if_done(window_end)
+    def _step_window(self, window_end: float) -> None:
+        """Dispatch everything pending at one window boundary."""
+        if not self._pending:
+            return
+        for state in self._states.values():
+            state.release_if_done(window_end)
+        assigned, expired = self._dispatch_window(window_end, self._pending, self._states)
+        self._rejected.extend(expired)
+        expired_set = set(expired)
+        still_pending = [
+            m for m in self._pending if m not in assigned and m not in expired_set
+        ]
+        if not self.config.allow_retries:
+            self._rejected.extend(still_pending)
+            still_pending = []
+        self._pending = still_pending
 
-            assigned, expired = self._dispatch_window(window_end, pending, states)
-            rejected.extend(expired)
-            still_pending = [
-                m for m in pending if m not in assigned and m not in set(expired)
-            ]
-            if not self.config.allow_retries:
-                rejected.extend(still_pending)
-                still_pending = []
-            pending = still_pending
-
-        rejected.extend(pending)
-        records = tuple(self._settle(state) for state in states.values())
+    def _finish(self) -> OnlineOutcome:
+        self._rejected.extend(self._pending)
+        records = tuple(self._settle(state) for state in self._states.values())
         return OnlineOutcome(
             instance=self.instance,
             records=records,
-            rejected_tasks=tuple(sorted(set(rejected))),
+            rejected_tasks=tuple(sorted(set(self._rejected))),
             dispatcher_name=self.name,
         )
 
-    # ------------------------------------------------------------------
-    # window machinery
-    # ------------------------------------------------------------------
     def _windows(self) -> List[Tuple[float, List[int]]]:
         """Group task indices into dispatch windows by publish time."""
         indexed = [
@@ -144,7 +274,7 @@ class BatchedSimulator:
 
         windows: Dict[int, List[int]] = {}
         for index, task in indexed:
-            slot = int((task.publish_ts - first_publish) // window_s)
+            slot = _publish_slot(task.publish_ts, first_publish, window_s)
             windows.setdefault(slot, []).append(index)
         return [
             (first_publish + (slot + 1) * window_s, indices)
@@ -174,17 +304,26 @@ class BatchedSimulator:
         if not live_tasks:
             return {}, expired
 
-        driver_ids = list(states.keys())
-        driver_pos = {driver_id: j for j, driver_id in enumerate(driver_ids)}
-        cost = np.full((len(live_tasks), len(driver_ids)), _INFEASIBLE)
+        # Only drivers with at least one admissible pair become columns of
+        # the assignment matrix (in fleet order, so ties resolve the same
+        # regardless of how the candidate lists were produced).
         candidate_lookup: Dict[Tuple[int, str], Candidate] = {}
-        for i, m in enumerate(live_tasks):
+        participating: set = set()
+        for m in live_tasks:
             for candidate in candidates_by_task[m]:
                 if self.config.require_positive_margin and candidate.marginal_value <= 0:
                     continue
-                j = driver_pos[candidate.driver_id]
-                cost[i, j] = -candidate.marginal_value
+                participating.add(candidate.driver_id)
                 candidate_lookup[(m, candidate.driver_id)] = candidate
+        if not candidate_lookup:
+            return {}, expired
+        driver_ids = [driver_id for driver_id in states if driver_id in participating]
+        driver_pos = {driver_id: j for j, driver_id in enumerate(driver_ids)}
+        task_pos = {m: i for i, m in enumerate(live_tasks)}
+
+        cost = np.full((len(live_tasks), len(driver_ids)), _INFEASIBLE)
+        for (m, driver_id), candidate in candidate_lookup.items():
+            cost[task_pos[m], driver_pos[driver_id]] = -candidate.marginal_value
 
         rows, cols = optimize.linear_sum_assignment(cost)
         assigned: Dict[int, str] = {}
@@ -232,3 +371,16 @@ def run_batched(
     if config is None:
         config = BatchConfig(window_s=window_s)
     return BatchedSimulator(instance, config).run()
+
+
+def run_batched_stream(
+    instance,
+    arrival_batches: Iterable[Sequence[Task]],
+    window_s: float = 60.0,
+    config: Optional[BatchConfig] = None,
+) -> OnlineOutcome:
+    """Convenience wrapper around :meth:`BatchedSimulator.run_stream` for a
+    :class:`~repro.market.streaming.StreamingMarketInstance`."""
+    if config is None:
+        config = BatchConfig(window_s=window_s)
+    return BatchedSimulator(instance, config).run_stream(arrival_batches)

@@ -166,6 +166,36 @@ class CandidateKernel:
     def uses_spatial_index(self) -> bool:
         return self._grid is not None
 
+    def extend_tasks(self) -> int:
+        """Mirror tasks appended to the instance since construction (or the
+        last call) into the kernel's coordinate arrays.
+
+        Streaming consumers (:meth:`~repro.online.batch.BatchedSimulator.run_stream`)
+        append task batches to a
+        :class:`~repro.market.streaming.StreamingMarketInstance` mid-run; this
+        keeps the kernel's per-task arrays in step without rebuilding them.
+        Returns the number of tasks picked up.  The spatial index keys only
+        driver positions, so it needs no refresh; a task outside the original
+        bounding box simply degrades that task's query to the exhaustive scan
+        (the superset guarantee is unconditional).
+        """
+        tasks = self.instance.tasks
+        known = self._task_sources.shape[0]
+        if len(tasks) <= known:
+            return 0
+        fresh = tasks[known:]
+        new_sources = coord_array([t.source for t in fresh])
+        new_destinations = coord_array([t.destination for t in fresh])
+        self._task_sources = np.concatenate([self._task_sources, new_sources])
+        self._task_destinations = np.concatenate([self._task_destinations, new_destinations])
+        self._task_sources_rad = np.concatenate(
+            [self._task_sources_rad, np.radians(new_sources)]
+        )
+        self._task_destinations_rad = np.concatenate(
+            [self._task_destinations_rad, np.radians(new_destinations)]
+        )
+        return len(fresh)
+
     def sync(self, state: DriverState) -> None:
         """Refresh the array mirrors after ``state`` moved or was assigned."""
         slot = self._slot_by_driver[state.driver.driver_id]
@@ -321,9 +351,13 @@ class CandidateKernel:
     ) -> Dict[int, List[Candidate]]:
         """Feasible candidates for a whole dispatch window at once.
 
-        Builds the full ``(tasks x drivers)`` approach/home cost matrices
-        with one ``cross_km`` call each instead of per-task scans; used by
-        the batched simulator.  Returns ``{task_index: candidates}`` with
+        Builds the window's approach/home cost matrices with one ``cross_km``
+        call each instead of per-task scans; used by the batched simulator.
+        When the spatial index is active, the driver axis is first shrunk to
+        the *union of reach* of the window's tasks (every driver inside some
+        task's grid range query) — a superset of every feasible pair, so the
+        returned candidates are identical with the index on or off and only
+        the matrix width changes.  Returns ``{task_index: candidates}`` with
         tasks without candidates omitted.
         """
         if not self.vectorized:
@@ -341,6 +375,10 @@ class CandidateKernel:
         tasks = [self.instance.tasks[m] for m in live]
         idx = np.asarray(live, dtype=np.intp)
 
+        slots = self._window_slots(tasks, now_ts)  # (D',) union of reach
+        if slots.size == 0:
+            return {}
+
         sdl = np.array([t.start_deadline_ts for t in tasks], dtype=float)
         edl = np.array([t.end_deadline_ts for t in tasks], dtype=float)
         prices = np.array([t.price for t in tasks], dtype=float)
@@ -350,14 +388,15 @@ class CandidateKernel:
             ride_durations = network.durations_s[idx].astype(float)
         service_costs = network.service_costs[idx].astype(float)
 
-        depart = np.maximum(self._free_at, self._driver_start)
-        depart = np.maximum(depart, now_ts)  # (D,)
-        feasible = depart[None, :] <= sdl[:, None]  # (T, D)
+        depart = np.maximum(self._free_at[slots], self._driver_start[slots])
+        depart = np.maximum(depart, now_ts)  # (D',)
+        feasible = depart[None, :] <= sdl[:, None]  # (T, D')
 
         approach_km = self._distances_cross(
-            self._loc_rad, self._loc, self._task_sources_rad[idx], self._task_sources[idx]
-        )  # (D, T)
-        approach_time = (approach_km / self._speed_kmh * 3600.0).T  # (T, D)
+            self._loc_rad[slots], self._loc[slots],
+            self._task_sources_rad[idx], self._task_sources[idx],
+        )  # (D', T)
+        approach_time = (approach_km / self._speed_kmh * 3600.0).T  # (T, D')
         approach_cost = (approach_km * self._cost_per_km).T
         arrival = depart[None, :] + approach_time
         feasible &= arrival <= sdl[:, None] + 1e-9
@@ -370,13 +409,13 @@ class CandidateKernel:
 
         home_km = self._distances_cross(
             self._task_destinations_rad[idx], self._task_destinations[idx],
-            self._dest_rad, self._dest,
-        )  # (T, D)
+            self._dest_rad[slots], self._dest[slots],
+        )  # (T, D')
         home_time = home_km / self._speed_kmh * 3600.0
         home_cost = home_km * self._cost_per_km
-        feasible &= dropoff + home_time <= self._driver_end[None, :] + 1e-9
+        feasible &= dropoff + home_time <= self._driver_end[slots][None, :] + 1e-9
 
-        current_home_cost = self._current_home_km * self._cost_per_km  # (D,)
+        current_home_cost = self._current_home_km[slots] * self._cost_per_km  # (D',)
         marginal = prices[:, None] - (
             home_cost + service_costs[:, None] + approach_cost - current_home_cost[None, :]
         )
@@ -387,7 +426,7 @@ class CandidateKernel:
             m = live[int(row)]
             out.setdefault(m, []).append(
                 Candidate(
-                    state=self._states[int(col)],
+                    state=self._states[int(slots[col])],
                     arrival_ts=float(arrival[row, col]),
                     dropoff_ts=float(dropoff[row, col]),
                     approach_cost=float(approach_cost[row, col]),
@@ -451,6 +490,22 @@ class CandidateKernel:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _window_slots(self, tasks: Sequence[Task], now_ts: float) -> np.ndarray:
+        """The union of reach of a dispatch window: every driver slot inside
+        at least one window task's grid range query (the whole fleet when the
+        index is off).  Sorted, so restricting the window matrices to these
+        slots preserves the per-task candidate order."""
+        n = len(self._states)
+        if self._grid is None:
+            return np.arange(n, dtype=np.intp)
+        union = np.zeros(n, dtype=bool)
+        for task in tasks:
+            slots = self._prefilter_slots(task, now_ts)
+            if slots.size == n:
+                return slots
+            union[slots] = True
+        return np.nonzero(union)[0]
+
     def _prefilter_slots(self, task: Task, now_ts: float) -> np.ndarray:
         """Slots worth checking for ``task``: a grid range query when the
         spatial index is active, otherwise the whole fleet."""

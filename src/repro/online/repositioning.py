@@ -133,6 +133,18 @@ class RepositioningPolicy(abc.ABC):
     def suggest(self, state: DriverState, now_ts: float) -> Optional[RepositioningMove]:
         """A move for ``state`` at time ``now_ts``, or ``None`` to stay put."""
 
+    def suggest_batch(
+        self, states: Sequence[DriverState], now_ts: float
+    ) -> List[Optional[RepositioningMove]]:
+        """Moves for a whole fleet, aligned with ``states``.
+
+        The default walks the scalar :meth:`suggest` per driver, so custom
+        policies keep working; policies with a vectorisable rule (see
+        :meth:`HotspotRepositioning.suggest_batch`) override it with a
+        batched kernel.
+        """
+        return [self.suggest(state, now_ts) for state in states]
+
 
 @dataclass
 class NoRepositioning(RepositioningPolicy):
@@ -177,15 +189,16 @@ class HotspotRepositioning(RepositioningPolicy):
             raise ValueError("improvement_factor must be >= 1")
 
     def suggest(self, state: DriverState, now_ts: float) -> Optional[RepositioningMove]:
-        if state.locked:
+        """Scalar reference rule (one driver).
+
+        Kept as the parity baseline for :meth:`suggest_batch`; the batched
+        kernel replicates this decision sequence with the estimator's batch
+        distances, which match the scalar estimator to floating-point
+        round-off.
+        """
+        if not self._eligible(state, now_ts):
             return None
         driver = state.driver
-        if now_ts < driver.start_ts:
-            return None
-        idle_for = now_ts - max(state.free_at, driver.start_ts)
-        if idle_for < self.idle_threshold_s:
-            return None
-
         current_demand = self.heatmap.demand_at(state.location, now_ts)
         for target, demand in self.heatmap.hottest_zones(now_ts, top=3):
             if demand < self.improvement_factor * max(1, current_demand):
@@ -199,6 +212,70 @@ class HotspotRepositioning(RepositioningPolicy):
                 continue
             return RepositioningMove(target=target, depart_ts=now_ts)
         return None
+
+    def suggest_batch(
+        self, states: Sequence[DriverState], now_ts: float
+    ) -> List[Optional[RepositioningMove]]:
+        """Vectorised :meth:`suggest` over the whole fleet.
+
+        The idle fleet's drive legs (driver location -> zone centre) and home
+        legs (zone centre -> driver destination) are computed with two
+        ``cross_km`` batch calls — the same kernel the online candidate
+        search runs on — instead of up to ``2 x idle x zones`` scalar
+        estimator calls; the zone scan itself is a cheap Python loop over at
+        most three precomputed columns per driver.  Falls back to the scalar
+        path for duck-typed travel models without a batch estimator.
+
+        The batch kernels match the scalar estimator to floating-point
+        round-off, not bit for bit, so a distance landing *exactly* on a
+        threshold (``max_drive_km``, the 0.2 km floor, the shift-end budget)
+        could in principle decide differently from :meth:`suggest`; real
+        fleets sit measurably away from those boundaries.
+        """
+        states = list(states)
+        estimator = getattr(self.travel_model, "estimator", None)
+        if estimator is None:
+            return [self.suggest(state, now_ts) for state in states]
+        moves: List[Optional[RepositioningMove]] = [None] * len(states)
+        idle = [i for i, state in enumerate(states) if self._eligible(state, now_ts)]
+        if not idle:
+            return moves
+        zones = self.heatmap.hottest_zones(now_ts, top=3)
+        if not zones:
+            return moves
+        centres = [target for target, _demand in zones]
+        drive_km = estimator.cross_km(
+            [states[i].location for i in idle], centres
+        )  # (idle, zones)
+        home_km = estimator.cross_km(
+            centres, [states[i].driver.destination for i in idle]
+        )  # (zones, idle)
+        for row, i in enumerate(idle):
+            state = states[i]
+            driver = state.driver
+            current_demand = self.heatmap.demand_at(state.location, now_ts)
+            for z, (target, demand) in enumerate(zones):
+                if demand < self.improvement_factor * max(1, current_demand):
+                    continue
+                distance = float(drive_km[row, z])
+                if distance > self.max_drive_km or distance < 0.2:
+                    continue
+                drive_s = self.travel_model.time_for_distance_s(distance)
+                home_s = self.travel_model.time_for_distance_s(float(home_km[z, row]))
+                if now_ts + drive_s + home_s > driver.end_ts:
+                    continue
+                moves[i] = RepositioningMove(target=target, depart_ts=now_ts)
+                break
+        return moves
+
+    def _eligible(self, state: DriverState, now_ts: float) -> bool:
+        """Whether a driver is idle long enough to be repositioned at all."""
+        if state.locked:
+            return False
+        driver = state.driver
+        if now_ts < driver.start_ts:
+            return False
+        return now_ts - max(state.free_at, driver.start_ts) >= self.idle_threshold_s
 
 
 def apply_repositioning(
@@ -214,17 +291,18 @@ def apply_repositioning(
     location / free-at time advance to the target, exactly as an approach
     drive would.  ``on_move`` (if given) is called with every state that
     moved, so callers tracking driver positions — e.g. the candidate
-    kernel's spatial index — stay in sync.  The empty-drive distances of all
-    accepted moves are computed with one batched estimator call, which means
-    every ``policy.suggest`` call observes the fleet as it stood *before*
-    this round of moves (the built-in policies only read the suggesting
-    driver's own state, so they are unaffected).
+    kernel's spatial index — stay in sync.  Suggestions come from the
+    policy's (possibly vectorised) ``suggest_batch`` and the empty-drive
+    distances of all accepted moves are computed with one batched estimator
+    call, which means every suggestion observes the fleet as it stood
+    *before* this round of moves (the built-in policies only read the
+    suggesting driver's own state, so they are unaffected).
     """
-    moves: List[Tuple[DriverState, RepositioningMove]] = []
-    for state in states:
-        move = policy.suggest(state, now_ts)
-        if move is not None:
-            moves.append((state, move))
+    state_list = list(states)
+    suggestions = policy.suggest_batch(state_list, now_ts)
+    moves: List[Tuple[DriverState, RepositioningMove]] = [
+        (state, move) for state, move in zip(state_list, suggestions) if move is not None
+    ]
     if not moves:
         return 0
     estimator = getattr(travel_model, "estimator", None)

@@ -1,0 +1,86 @@
+"""Tests for the array-backed shard payloads of the process executor."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    ShardWorkRequest,
+    SpatialPartitioner,
+    instance_from_payload,
+    payload_from_shard,
+    solve_shard,
+    solve_shard_payload,
+)
+from repro.geo import PORTO, GeoPoint
+from repro.market import Driver, MarketInstance, Task
+
+from ..conftest import build_random_instance
+
+
+@pytest.fixture(scope="module")
+def plan():
+    instance = build_random_instance(task_count=60, driver_count=15, seed=37)
+    return SpatialPartitioner(PORTO, 2, 2).partition(instance)
+
+
+class TestPayloadRoundTrip:
+    def test_rebuilt_instance_is_value_identical(self, plan):
+        for shard in plan.shards:
+            rebuilt = instance_from_payload(payload_from_shard(shard))
+            assert rebuilt.drivers == shard.instance.drivers
+            assert rebuilt.tasks == shard.instance.tasks
+            assert rebuilt.cost_model is shard.instance.cost_model
+
+    def test_optional_fields_use_nan_sentinels(self):
+        a = GeoPoint(41.15, -8.62)
+        b = GeoPoint(41.16, -8.60)
+        tasks = (
+            Task("with-extras", 0.0, a, b, 600.0, 1800.0, price=5.0, wtp=7.5, distance_km=2.5),
+            Task("bare", 0.0, b, a, 600.0, 1800.0, price=4.0),
+        )
+        drivers = (Driver("d", a, b, 0.0, 7200.0),)
+        instance = MarketInstance.create(drivers=drivers, tasks=tasks)
+        shard = SpatialPartitioner(PORTO, 1, 1).partition(instance).shards[0]
+        payload = payload_from_shard(shard)
+        assert payload.task_wtps[0] == 7.5
+        assert np.isnan(payload.task_wtps[1])
+        assert np.isnan(payload.task_distances[1])
+        rebuilt = instance_from_payload(payload)
+        assert rebuilt.tasks[0].wtp == 7.5
+        assert rebuilt.tasks[1].wtp is None
+        assert rebuilt.tasks[1].distance_km is None
+
+    def test_payload_is_picklable_without_derived_state(self, plan):
+        shard = max(plan.shards, key=lambda s: s.task_count)
+        # Force the expensive caches the payload must NOT carry.
+        shard.instance.task_maps
+        payload = payload_from_shard(shard)
+        blob = pickle.dumps(payload)
+        restored = pickle.loads(blob)
+        assert restored.task_ids == payload.task_ids
+        assert np.array_equal(restored.task_coords, payload.task_coords)
+        # The payload ships primal arrays only; it must stay far below the
+        # pickled object graph with its cached task maps.
+        assert len(blob) < len(pickle.dumps(shard)) / 2
+
+
+class TestWorkerEntry:
+    @pytest.mark.parametrize("solver", ["greedy", "nearest", "maxMargin"])
+    def test_matches_in_process_worker(self, plan, solver):
+        shard = max(plan.shards, key=lambda s: s.task_count)
+        request = ShardWorkRequest(
+            shard.spec.shard_id, shard.driver_count, shard.task_count, solver, seed=3
+        )
+        direct = solve_shard(shard, request)
+        via_payload = solve_shard_payload(payload_from_shard(shard), request)
+        assert via_payload.assignment == direct.assignment
+        assert via_payload.driver_profits == direct.driver_profits
+        assert via_payload.total_value == direct.total_value
+        assert via_payload.served_count == direct.served_count
+
+    def test_unknown_solver_rejected(self, plan):
+        payload = payload_from_shard(plan.shards[0])
+        with pytest.raises(ValueError):
+            solve_shard_payload(payload, ShardWorkRequest(0, 1, 1, "simplex"))

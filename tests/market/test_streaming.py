@@ -1,0 +1,153 @@
+"""Equivalence tests for the streaming market instance.
+
+The contract of :class:`~repro.market.streaming.StreamingMarketInstance` is
+strict: after any sequence of ``append_tasks`` batches, the incrementally
+maintained task network and per-driver task maps must be **bit-identical**
+(``np.array_equal``, not approx) to a from-scratch
+:class:`~repro.market.instance.MarketInstance` over the same drivers and
+tasks, and every solver must produce the same solution on either.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.market import MarketInstance, StreamingMarketInstance
+from repro.offline import greedy_assignment
+from repro.online import MaxMarginDispatcher, run_online
+
+from ..conftest import build_random_instance
+
+NETWORK_ARRAYS = ("durations_s", "service_costs", "prices", "valuations", "servable", "topo_order")
+MAP_ARRAYS = (
+    "entry_ok",
+    "exit_ok",
+    "source_leg_times",
+    "source_leg_costs",
+    "sink_leg_times",
+    "sink_leg_costs",
+)
+
+
+def assert_equivalent(stream: StreamingMarketInstance, reference: MarketInstance) -> None:
+    """Every derived structure of ``stream`` matches ``reference`` bit for bit."""
+    net_a, net_b = stream.task_network, reference.task_network
+    assert net_a.tasks == net_b.tasks
+    for name in NETWORK_ARRAYS:
+        assert np.array_equal(getattr(net_a, name), getattr(net_b, name)), name
+    for m in range(net_a.task_count):
+        assert np.array_equal(net_a.successors[m], net_b.successors[m])
+        assert np.array_equal(net_a.leg_times[m], net_b.leg_times[m])
+        assert np.array_equal(net_a.leg_costs[m], net_b.leg_costs[m])
+    reference_maps = reference.task_maps
+    assert set(stream.task_maps) == set(reference_maps)
+    for driver_id, incremental in stream.task_maps.items():
+        rebuilt = reference_maps[driver_id]
+        for name in MAP_ARRAYS:
+            assert np.array_equal(getattr(incremental, name), getattr(rebuilt, name)), (
+                driver_id,
+                name,
+            )
+        assert incremental.direct_leg == rebuilt.direct_leg
+
+
+@pytest.fixture(scope="module")
+def base_instance():
+    return build_random_instance(task_count=60, driver_count=12, seed=29)
+
+
+class TestIncrementalEquivalence:
+    def test_batched_appends_match_rebuild(self, base_instance):
+        stream = StreamingMarketInstance(base_instance.drivers, base_instance.cost_model)
+        tasks = list(base_instance.tasks)
+        for lo, hi in [(0, 10), (10, 11), (11, 35), (35, 35), (35, 60)]:
+            stream.append_tasks(tasks[lo:hi])
+        assert_equivalent(stream, stream.rebuild())
+
+    def test_single_shot_matches_plain_instance(self, base_instance):
+        stream = StreamingMarketInstance.from_instance(base_instance)
+        assert_equivalent(stream, base_instance)
+
+    def test_greedy_solution_parity(self, base_instance):
+        stream = StreamingMarketInstance(base_instance.drivers, base_instance.cost_model)
+        tasks = list(base_instance.tasks)
+        for lo in range(0, len(tasks), 13):
+            stream.append_tasks(tasks[lo : lo + 13])
+        incremental = greedy_assignment(stream.snapshot())
+        rebuilt = greedy_assignment(stream.rebuild())
+        assert incremental.assignment() == rebuilt.assignment()
+        assert [p.profit for p in incremental.plans] == [p.profit for p in rebuilt.plans]
+
+    def test_online_simulator_consumes_streaming_instance(self, base_instance):
+        stream = StreamingMarketInstance.from_instance(base_instance)
+        streamed = run_online(stream, MaxMarginDispatcher())
+        static = run_online(base_instance, MaxMarginDispatcher())
+        assert streamed.assignment() == static.assignment()
+        assert [r.profit for r in streamed.records] == [r.profit for r in static.records]
+
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(cuts=st.lists(st.integers(min_value=0, max_value=40), max_size=4))
+    def test_any_batch_split_is_equivalent(self, cuts):
+        instance = build_random_instance(task_count=40, driver_count=8, seed=17)
+        tasks = list(instance.tasks)
+        boundaries = sorted({0, len(tasks), *cuts})
+        stream = StreamingMarketInstance(instance.drivers, instance.cost_model)
+        for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+            stream.append_tasks(tasks[lo:hi])
+        assert_equivalent(stream, instance)
+
+
+class TestStreamingApi:
+    def test_read_api_mirrors_market_instance(self, base_instance):
+        stream = StreamingMarketInstance.from_instance(base_instance)
+        assert stream.drivers == base_instance.drivers
+        assert stream.tasks == base_instance.tasks
+        assert stream.task_count == base_instance.task_count
+        assert stream.driver_count == base_instance.driver_count
+        assert stream.task_index(base_instance.tasks[3].task_id) == 3
+        with pytest.raises(KeyError):
+            stream.task_map("nobody")
+        with pytest.raises(KeyError):
+            stream.task_index("no-such-task")
+
+    def test_snapshot_shares_derived_state(self, base_instance):
+        stream = StreamingMarketInstance.from_instance(base_instance)
+        snapshot = stream.snapshot()
+        assert snapshot.task_network is stream.task_network
+        assert snapshot.task_maps is stream.task_maps
+
+    def test_empty_append_is_a_noop(self, base_instance):
+        stream = StreamingMarketInstance.from_instance(base_instance)
+        before = stream.task_network
+        assert stream.append_tasks(()) == ()
+        assert stream.task_network is before
+
+    def test_duplicate_ids_rejected(self, base_instance):
+        stream = StreamingMarketInstance.from_instance(base_instance)
+        with pytest.raises(ValueError):
+            stream.append_tasks([base_instance.tasks[0]])
+        with pytest.raises(ValueError):
+            StreamingMarketInstance(
+                base_instance.drivers,
+                base_instance.cost_model,
+                tasks=(base_instance.tasks[0], base_instance.tasks[0]),
+            )
+
+    def test_duplicate_driver_ids_rejected(self, base_instance):
+        drivers = (base_instance.drivers[0], base_instance.drivers[0])
+        with pytest.raises(ValueError):
+            StreamingMarketInstance(drivers, base_instance.cost_model)
+
+    def test_affected_drivers_are_the_ones_gaining_entry_tasks(self, base_instance):
+        tasks = list(base_instance.tasks)
+        stream = StreamingMarketInstance(base_instance.drivers, base_instance.cost_model)
+        stream.append_tasks(tasks[:30])
+        before = {
+            driver_id: set(task_map.entry_tasks().tolist())
+            for driver_id, task_map in stream.task_maps.items()
+        }
+        affected = set(stream.append_tasks(tasks[30:]))
+        for driver_id, task_map in stream.task_maps.items():
+            gained = set(task_map.entry_tasks().tolist()) - before[driver_id]
+            assert (len(gained) > 0) == (driver_id in affected)

@@ -2,13 +2,16 @@
 
 import pytest
 
+from repro.market import StreamingMarketInstance
 from repro.offline import exact_optimum, greedy_assignment
 from repro.online import (
     BatchConfig,
     BatchedSimulator,
     MaxMarginDispatcher,
     run_batched,
+    run_batched_stream,
     run_online,
+    window_batches,
 )
 
 from ..conftest import build_chain_instance, build_random_instance
@@ -98,6 +101,104 @@ class TestBatchedInvariants:
         a = run_batched(random_instance, window_s=60.0)
         b = run_batched(random_instance, window_s=60.0)
         assert a.assignment() == b.assignment()
+
+
+class TestWindowSpatialPrefilter:
+    """The union-of-reach grid query is superset-safe: enabling it must never
+    change a single assignment or profit, only the matrix width."""
+
+    @pytest.mark.parametrize("window_s", [30.0, 120.0])
+    def test_index_on_off_outcomes_identical(self, window_s):
+        # Enough drivers to clear the kernel's min_drivers_for_index bar.
+        instance = build_random_instance(task_count=80, driver_count=30, seed=21)
+        with_index = BatchedSimulator(
+            instance, BatchConfig(window_s=window_s, use_spatial_index=True)
+        ).run()
+        without = BatchedSimulator(
+            instance, BatchConfig(window_s=window_s, use_spatial_index=False)
+        ).run()
+        assert with_index.assignment() == without.assignment()
+        assert [r.profit for r in with_index.records] == [r.profit for r in without.records]
+        assert with_index.rejected_tasks == without.rejected_tasks
+
+    def test_kernel_grid_is_engaged(self):
+        instance = build_random_instance(task_count=40, driver_count=30, seed=21)
+        simulator = BatchedSimulator(instance, BatchConfig(use_spatial_index=True))
+        simulator.run()
+        assert simulator._kernel.uses_spatial_index
+
+
+class TestStreamingConsumption:
+    """run_stream over a StreamingMarketInstance reproduces run() exactly
+    when fed the same windows (task indices may differ, task ids may not)."""
+
+    @staticmethod
+    def by_task_ids(outcome, instance):
+        return {
+            record.driver_id: tuple(
+                instance.tasks[m].task_id for m in record.task_indices
+            )
+            for record in outcome.records
+            if record.task_indices
+        }
+
+    @pytest.mark.parametrize("window_s", [30.0, 90.0])
+    def test_stream_matches_replay(self, random_instance, window_s):
+        replay = BatchedSimulator(random_instance, BatchConfig(window_s=window_s)).run()
+        stream_instance = StreamingMarketInstance(
+            random_instance.drivers, random_instance.cost_model
+        )
+        outcome = run_batched_stream(
+            stream_instance,
+            window_batches(random_instance.tasks, window_s),
+            window_s=window_s,
+        )
+        assert self.by_task_ids(outcome, stream_instance) == self.by_task_ids(
+            replay, random_instance
+        )
+        assert outcome.total_value == replay.total_value
+        rejected_stream = {stream_instance.tasks[m].task_id for m in outcome.rejected_tasks}
+        rejected_replay = {random_instance.tasks[m].task_id for m in replay.rejected_tasks}
+        assert rejected_stream == rejected_replay
+
+    def test_one_task_per_batch_matches_replay(self):
+        """Watermark windowing: parity must not depend on window-aligned
+        batching — the natural live feed is one order per batch."""
+        instance = build_random_instance(task_count=60, driver_count=3, seed=10)
+        replay = BatchedSimulator(instance, BatchConfig(window_s=300.0)).run()
+        ordered = sorted(instance.tasks, key=lambda t: t.publish_ts)
+        stream_instance = StreamingMarketInstance(instance.drivers, instance.cost_model)
+        outcome = run_batched_stream(
+            stream_instance, [[task] for task in ordered], window_s=300.0
+        )
+        assert self.by_task_ids(outcome, stream_instance) == self.by_task_ids(
+            replay, instance
+        )
+        assert outcome.total_value == replay.total_value
+
+    def test_out_of_order_stream_rejected(self, random_instance):
+        ordered = sorted(random_instance.tasks, key=lambda t: t.publish_ts)
+        stream_instance = StreamingMarketInstance(
+            random_instance.drivers, random_instance.cost_model
+        )
+        simulator = BatchedSimulator(stream_instance, BatchConfig(window_s=60.0))
+        with pytest.raises(ValueError):
+            # Feed the latest order first, then one from a much earlier window.
+            simulator.run_stream([[ordered[-1]], [ordered[0]]])
+
+    def test_run_stream_requires_streaming_instance(self, random_instance):
+        simulator = BatchedSimulator(random_instance)
+        with pytest.raises(TypeError):
+            simulator.run_stream([list(random_instance.tasks)])
+
+    def test_window_batches_grouping(self, random_instance):
+        batches = window_batches(random_instance.tasks, 60.0)
+        flattened = [t for batch in batches for t in batch]
+        assert len(flattened) == sum(1 for t in random_instance.tasks if t.is_publishable)
+        publishes = [t.publish_ts for t in flattened]
+        assert publishes == sorted(publishes)
+        with pytest.raises(ValueError):
+            window_batches(random_instance.tasks, 0.0)
 
 
 class TestBatchedVsPerOrder:
