@@ -2,14 +2,22 @@
 
 The paper argues the matching problem must be partitioned at city scale to be
 tractable — but not much further, because riders and drivers cross district
-boundaries.  This example makes that trade-off concrete:
+boundaries.  This example makes that trade-off concrete, and shows the
+coordinator's *executor policy* knob (``serial`` / ``thread`` / ``process``):
 
 1. build one day of the Porto market;
 2. solve it centrally with the greedy algorithm;
-3. shard it into 2x2 and 4x4 district grids, solve every shard independently
-   on a thread pool via the :class:`DistributedCoordinator`, and merge;
-4. report how much objective value each sharding retains and how the
-   per-shard work shrinks.
+3. shard it into a 2x2 district grid and solve every shard under each
+   executor policy via the :class:`DistributedCoordinator` — the merged
+   solutions are bit-identical, only the wall clock changes;
+4. sweep the grid to 4x4 districts and report how much objective value each
+   sharding retains.
+
+Pick ``executor="process"`` for city-scale instances (every core solves its
+own shards), ``"thread"`` when NumPy kernels dominate, and ``"serial"`` for
+tests and debugging — see ``repro/distributed/coordinator.py`` for the full
+decision guide.  For consuming a *live* order stream over the same shards,
+see ``examples/streaming_city.py``.
 
 Run with::
 
@@ -30,6 +38,7 @@ from repro import (
     market_from_trace,
 )
 from repro.analysis import format_table
+from repro.distributed import EXECUTOR_POLICIES
 
 
 def main() -> None:
@@ -43,10 +52,45 @@ def main() -> None:
     central_time = time.perf_counter() - start
     print(f"Central greedy: profit {central.total_value:.2f} in {central_time:.2f}s")
 
+    # --- executor policies: same 2x2 sharding, bit-identical merges -------
+    print("\nExecutor policies on the 2x2 grid (identical merged solutions):")
+    policy_rows = []
+    fingerprints = set()
+    for executor in EXECUTOR_POLICIES:
+        coordinator = DistributedCoordinator(
+            SpatialPartitioner(PORTO, 2, 2), solver_name="greedy", executor=executor
+        )
+        start = time.perf_counter()
+        result = coordinator.solve(market)
+        elapsed = time.perf_counter() - start
+        fingerprints.add(
+            (
+                result.solution.total_value,
+                tuple(sorted(result.solution.assignment().items())),
+            )
+        )
+        policy_rows.append(
+            [
+                executor,
+                result.report.worker_count,
+                result.solution.total_value,
+                elapsed,
+                result.report.critical_path_speedup,
+            ]
+        )
+    assert len(fingerprints) == 1, "executor policies must merge identically"
+    print(
+        format_table(
+            ["executor", "workers", "profit", "wall clock (s)", "critical-path x"],
+            policy_rows,
+        )
+    )
+
+    # --- grid sweep: the retention/speed trade-off ------------------------
     rows = [["central (1 shard)", 1, central.total_value, 1.0, central_time, central.served_count]]
     for grid in ((2, 2), (4, 4)):
         coordinator = DistributedCoordinator(
-            SpatialPartitioner(PORTO, *grid), solver_name="greedy", parallel=True
+            SpatialPartitioner(PORTO, *grid), solver_name="greedy", executor="process"
         )
         start = time.perf_counter()
         result = coordinator.solve(market)

@@ -1,0 +1,132 @@
+"""Serving a live order stream over a sharded city on a persistent pool.
+
+``examples/distributed_city.py`` re-solves a *known* day offline.  A real
+platform never sees the day up front: orders arrive continuously, and the
+dispatcher must answer within a window.  This example runs that workload:
+
+1. build one day of the Porto market and group its orders into
+   publish-ordered arrival batches (one per dispatch window);
+2. replay the stream unsharded with the batched Hungarian dispatcher — the
+   quality reference;
+3. stream the same batches through ``DistributedCoordinator.solve_stream``:
+   each district shard holds a live ``StreamingMarketInstance`` inside a
+   persistent worker pool, only the new task columns cross the process
+   boundary per batch, and the merged result is bit-identical to a serial
+   per-shard replay;
+4. stream a *second* day on the same coordinator — the pool (and its forked
+   workers) is reused, which is where the persistent pool pays off across
+   re-solves and ablation sweeps;
+5. let the skew-aware rebalancer split the hottest district between windows
+   and show the critical-path cap lifting.
+
+Run with::
+
+    python examples/streaming_city.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    DistributedCoordinator,
+    PORTO,
+    SpatialPartitioner,
+    generate_drivers,
+    generate_trace,
+    market_from_trace,
+)
+from repro.analysis import format_table
+from repro.distributed import RebalancePolicy
+from repro.online.batch import BatchConfig, run_batched, window_batches
+
+WINDOW_S = 600.0
+
+
+def build_day(seed: int):
+    trips = generate_trace(trip_count=600, seed=seed)
+    drivers = generate_drivers(count=100, seed=seed + 1)
+    market = market_from_trace(trips, drivers)
+    return market, window_batches(market.tasks, WINDOW_S)
+
+
+def main() -> None:
+    market, batches = build_day(seed=51)
+    config = BatchConfig(window_s=WINDOW_S)
+    print(
+        f"City market: {market.task_count} orders over {len(batches)} arrival "
+        f"windows, {market.driver_count} drivers"
+    )
+
+    # Unsharded replay: the quality reference (no partition loss).
+    start = time.perf_counter()
+    replay = run_batched(market, config=config)
+    replay_s = time.perf_counter() - start
+    print(
+        f"Unsharded batched replay: profit {replay.total_value:.2f}, "
+        f"serve rate {replay.serve_rate:.0%}, {replay_s:.2f}s"
+    )
+
+    rows = []
+    with DistributedCoordinator(
+        SpatialPartitioner(PORTO, 2, 2), executor="process"
+    ) as coordinator:
+        # First stream: includes forking the worker pool.
+        start = time.perf_counter()
+        first = coordinator.solve_stream(market, batches, config=config)
+        first_s = time.perf_counter() - start
+
+        # Second day on the SAME pool: startup is already paid.
+        second_market, second_batches = build_day(seed=77)
+        start = time.perf_counter()
+        second = coordinator.solve_stream(second_market, second_batches, config=config)
+        second_s = time.perf_counter() - start
+
+        rows.append(_row("day 1, cold pool", first, first_s))
+        rows.append(_row("day 2, warm pool", second, second_s))
+
+        # Skew-aware rebalance: split hot districts between windows.
+        policy = RebalancePolicy(
+            check_every_batches=4, hot_factor=1.2, min_split_tasks=30, max_shards=8
+        )
+        start = time.perf_counter()
+        rebalanced = coordinator.solve_stream(
+            market, batches, config=config, rebalance=policy
+        )
+        rebalanced_s = time.perf_counter() - start
+        rows.append(
+            _row(
+                f"day 1, {rebalanced.report.rebalance_count} rebalances",
+                rebalanced,
+                rebalanced_s,
+            )
+        )
+
+    print()
+    print(
+        format_table(
+            ["stream", "shards", "profit", "serve rate", "critical-path x", "wall clock (s)"],
+            rows,
+        )
+    )
+    print(
+        "\nThe sharded stream trades the cross-district trips for an "
+        "embarrassingly parallel live dispatch; the persistent pool amortises "
+        "worker startup across days, and splitting hot districts lifts the "
+        "total/slowest critical-path cap toward the shard count."
+    )
+
+
+def _row(label: str, result, elapsed: float):
+    return [
+        label,
+        result.report.shard_count,
+        result.solution.total_value,
+        result.solution.served_count / max(1, result.solution.instance.task_count),
+        result.report.critical_path_speedup,
+        elapsed,
+    ]
+
+
+if __name__ == "__main__":
+    main()

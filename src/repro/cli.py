@@ -10,6 +10,9 @@ Installed as the ``repro`` console script (also reachable as
 ``solve``
     Load a market JSON and solve it with one of the algorithms (greedy,
     maxMargin, nearest, batched, exact), optionally saving the solution.
+    ``--stream`` consumes the orders as a live publish-ordered stream, and
+    ``--executor process --grid 2x2`` fans the stream out to per-shard
+    streaming sessions on a persistent worker pool.
 ``bound``
     Compute an upper bound (LP relaxation, Lagrangian or exact) for a market.
 ``info``
@@ -25,6 +28,7 @@ import sys
 from typing import Optional, Sequence
 
 from .analysis import BoundKind, compute_upper_bound, format_metric_dict, format_table
+from .distributed import EXECUTOR_POLICIES
 from .experiments import (
     DEFAULT_SCALE,
     PAPER_SCALE,
@@ -85,6 +89,29 @@ def build_parser() -> argparse.ArgumentParser:
         default="greedy",
     )
     solve.add_argument("--batch-window", type=float, default=60.0, help="batched: window in seconds")
+    solve.add_argument(
+        "--stream",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="batched only: consume the orders as a live publish-ordered stream "
+        "(incremental per-shard streaming instances; bit-identical to the "
+        "offline replay on a 1x1 grid)",
+    )
+    solve.add_argument(
+        "--executor",
+        choices=sorted(EXECUTOR_POLICIES),
+        default="serial",
+        help="streaming fan-out policy: 'serial' replays in-process, 'thread'/"
+        "'process' route shard deltas to a persistent worker pool "
+        "(merged results are executor-independent)",
+    )
+    solve.add_argument(
+        "--grid",
+        default="1x1",
+        metavar="RxC",
+        help="streaming shard grid over the market's bounding box, e.g. 2x2 "
+        "(finer grids parallelise further but lose cross-shard trips)",
+    )
     solve.add_argument("--output", help="optional path to save the solution JSON")
 
     bound = subparsers.add_parser("bound", help="compute an upper bound for a market")
@@ -101,6 +128,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
     )
     experiment.add_argument("--scale", choices=sorted(_SCALES), default="default")
+    experiment.add_argument(
+        "--executor",
+        choices=sorted(EXECUTOR_POLICIES),
+        default="serial",
+        help="distributed fan-out for the partitioning ablation "
+        "('process' uses every core; merged solutions are executor-independent)",
+    )
+    experiment.add_argument(
+        "--stream",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="run the partitioning ablation as a live order stream on the "
+        "persistent shard pool instead of offline greedy re-solves",
+    )
 
     return parser
 
@@ -132,8 +173,57 @@ def _cmd_build_market(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_grid(text: str) -> tuple:
+    try:
+        rows_text, cols_text = text.lower().split("x", 1)
+        rows, cols = int(rows_text), int(cols_text)
+    except ValueError:
+        raise SystemExit(f"invalid --grid {text!r}; expected ROWSxCOLS, e.g. 2x2")
+    if rows < 1 or cols < 1:
+        raise SystemExit(f"invalid --grid {text!r}; rows and cols must be >= 1")
+    return rows, cols
+
+
+def _cmd_solve_stream(args: argparse.Namespace, instance) -> int:
+    """``solve --stream``: live windowed dispatch on the sharded pool."""
+    from .distributed import DistributedCoordinator, SpatialPartitioner
+    from .geo import bounding_box_of
+    from .online.batch import BatchConfig
+
+    rows, cols = _parse_grid(args.grid)
+    points = [d.source for d in instance.drivers] + [d.destination for d in instance.drivers]
+    points += [t.source for t in instance.tasks] + [t.destination for t in instance.tasks]
+    region = bounding_box_of(points)
+    if region is None:
+        raise SystemExit("market is empty; nothing to stream")
+    with DistributedCoordinator(
+        SpatialPartitioner(region, rows, cols), executor=args.executor
+    ) as coordinator:
+        result = coordinator.solve_stream(
+            instance, config=BatchConfig(window_s=args.batch_window)
+        )
+    report = result.report
+    print(f"algorithm: batched (streamed, {args.executor} executor)")
+    print(
+        f"shards: {report.shard_count} ({rows}x{cols} grid), "
+        f"workers: {report.worker_count}, batches: {report.batch_count}, "
+        f"wall clock: {report.wall_clock_s:.2f}s"
+    )
+    print(format_metric_dict(result.solution.summary()))
+    if args.output:
+        save_solution(result.solution, args.output, algorithm="batched-stream")
+        print(f"solution written to {args.output}")
+    return 0
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     instance = load_instance(args.market)
+    if args.stream and args.algorithm != "batched":
+        raise SystemExit("--stream requires --algorithm batched")
+    if not args.stream and (args.executor != "serial" or args.grid != "1x1"):
+        raise SystemExit("--executor and --grid only apply to --stream solves")
+    if args.stream:
+        return _cmd_solve_stream(args, instance)
     if args.algorithm == "greedy":
         result = greedy_assignment(instance)
         summary = result.summary()
@@ -185,7 +275,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
     config = ExperimentConfig(scale=scale)
     if args.figure == "all":
-        print(run_everything(scale=scale).render())
+        print(
+            run_everything(
+                scale=scale, partition_executor=args.executor, stream=args.stream
+            ).render()
+        )
         return 0
     if args.figure == "fig3-4":
         print(run_distribution_experiment(config).render())
@@ -199,7 +293,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.figure == "ablations":
         print(run_surge_ablation(config=config).render())
         print()
-        print(run_partition_ablation(config=config).render())
+        print(
+            run_partition_ablation(
+                config=config, executor=args.executor, stream=args.stream
+            ).render()
+        )
         return 0
     raise AssertionError(f"unhandled figure choice {args.figure!r}")
 

@@ -5,36 +5,66 @@ from .coordinator import (
     SOLVER_NAMES,
     DistributedCoordinator,
     DistributedResult,
+    DistributedStreamResult,
+    DistributedStreamSession,
+    RebalancePolicy,
     solve_shard,
     solve_shard_payload,
 )
-from .messages import CoordinatorReport, ShardWorkRequest, ShardWorkResult, Stopwatch
-from .payload import ShardPayload, instance_from_payload, payload_from_shard
+from .messages import (
+    CoordinatorReport,
+    ShardStreamResult,
+    ShardWorkRequest,
+    ShardWorkResult,
+    Stopwatch,
+    StreamReport,
+)
+from .payload import (
+    ShardPayload,
+    ShardPayloadDelta,
+    delta_from_tasks,
+    instance_from_payload,
+    payload_from_shard,
+    tasks_from_delta,
+)
 from .partition import (
     MarketShard,
     PartitionPlan,
     ShardSpec,
     SpatialPartitioner,
+    ZonePartition,
     translate_assignment,
 )
+from .pool import PersistentWorkerPool, ShardStreamSession
 
 __all__ = [
     "SpatialPartitioner",
+    "ZonePartition",
     "PartitionPlan",
     "MarketShard",
     "ShardSpec",
     "translate_assignment",
     "ShardWorkRequest",
     "ShardWorkResult",
+    "ShardStreamResult",
+    "StreamReport",
     "CoordinatorReport",
     "Stopwatch",
     "DistributedCoordinator",
     "DistributedResult",
+    "DistributedStreamSession",
+    "DistributedStreamResult",
+    "RebalancePolicy",
+    "PersistentWorkerPool",
+    "ShardStreamSession",
     "solve_shard",
     "solve_shard_payload",
     "SOLVER_NAMES",
     "EXECUTOR_POLICIES",
     "ShardPayload",
+    "ShardPayloadDelta",
     "payload_from_shard",
     "instance_from_payload",
+    "delta_from_tasks",
+    "tasks_from_delta",
 ]

@@ -54,6 +54,31 @@ Every executor consumes the same per-shard
 :class:`~repro.distributed.messages.ShardWorkRequest` (including the
 deterministically derived per-shard seed) and the merge consumes results in
 shard order, so the merged solution is bit-identical across policies.
+
+Streaming on a persistent pool
+------------------------------
+
+:meth:`DistributedCoordinator.solve_stream` (and the incremental
+:meth:`DistributedCoordinator.open_stream` / ``append_batch`` / ``finish``
+path) serves a *live* order stream instead of an offline re-solve: arrival
+batches are routed to per-shard
+:class:`~repro.market.streaming.StreamingMarketInstance` sessions kept alive
+inside a :class:`~repro.distributed.pool.PersistentWorkerPool`, each shard
+dispatching its windows with the batched Hungarian simulator while the
+coordinator is already routing the next batch.  Only
+:class:`~repro.distributed.payload.ShardPayloadDelta` arrays (the new task
+columns) cross the process boundary per batch, and the pool outlives
+individual streams, so process startup is amortised across re-solves and
+ablation sweeps.
+
+**Parity contract (stream == replay):** every worker session runs the exact
+``BatchedSimulator.run_stream`` code path on a value-identical delta round
+trip, so the merged streamed solution is bit-identical to a serial per-shard
+``run_stream`` replay of the same batch schedule — across all three executor
+policies.  The optional skew-aware rebalance (split the hottest shard, merge
+cold ones between windows) deliberately trades that fixed partition for load
+balance; its own contract is determinism: a rebalanced stream is bit-identical
+to a from-start stream over the final (post-rebalance) regions.
 """
 
 from __future__ import annotations
@@ -61,18 +86,44 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.objectives import Objective
-from ..core.solution import MarketSolution
+from ..core.solution import DriverPlan, MarketSolution
+from ..geo import BoundingBox
+from ..market.cost import MarketCostModel
+from ..market.driver import Driver
 from ..market.instance import MarketInstance
+from ..market.task import Task
 from ..offline.greedy import GreedySolver
+from ..online.batch import BatchConfig, stream_schedule
 from ..online.dispatchers import MaxMarginDispatcher, NearestDispatcher
 from ..online.simulator import OnlineSimulator
-from .messages import CoordinatorReport, ShardWorkRequest, ShardWorkResult, Stopwatch
-from .partition import MarketShard, PartitionPlan, SpatialPartitioner, translate_assignment
-from .payload import ShardPayload, instance_from_payload, payload_from_shard
+from .messages import (
+    CoordinatorReport,
+    ShardStreamResult,
+    ShardWorkRequest,
+    ShardWorkResult,
+    Stopwatch,
+    StreamReport,
+)
+from .partition import (
+    MarketShard,
+    PartitionPlan,
+    SpatialPartitioner,
+    ZonePartition,
+    translate_assignment,
+)
+from .payload import ShardPayload, delta_from_tasks, instance_from_payload, payload_from_shard
+from .pool import (
+    PersistentWorkerPool,
+    _pool_append,
+    _pool_discard,
+    _pool_finish,
+    _pool_open,
+    next_stream_token,
+)
 
 #: Shard solvers available to workers, by name.
 SOLVER_NAMES = ("greedy", "nearest", "maxMargin")
@@ -183,6 +234,418 @@ class DistributedResult:
     plan: PartitionPlan
 
 
+@dataclass(frozen=True, slots=True)
+class RebalancePolicy:
+    """Skew-aware shard rebalance knobs for the streaming path.
+
+    Checked every ``check_every_batches`` arrival batches.  If the hottest
+    shard holds at least ``hot_factor`` times the mean task load (and at
+    least ``min_split_tasks`` tasks), it is split — one box shard into its
+    two halves along the longer axis.  Otherwise, if the two coldest shards
+    are both under ``cold_factor`` times the mean, they are merged into one
+    multi-box shard.  Splitting lifts the ``total/slowest`` critical-path cap
+    toward the shard count; merging stops starving workers on empty districts.
+
+    Rebalancing is deterministic but *replaces* the fixed partition, so it
+    forfeits parity with the original grid; instead the contract is that the
+    rebalanced stream is bit-identical to a from-start stream over the final
+    regions (``DistributedStreamResult.regions``).
+    """
+
+    check_every_batches: int = 4
+    hot_factor: float = 2.0
+    cold_factor: float = 0.2
+    min_split_tasks: int = 64
+    max_shards: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.check_every_batches < 1:
+            raise ValueError("check_every_batches must be >= 1")
+        if self.hot_factor <= 1.0:
+            raise ValueError("hot_factor must be > 1")
+        if self.cold_factor < 0.0:
+            raise ValueError("cold_factor must be >= 0")
+
+
+@dataclass
+class _StreamShard:
+    """Coordinator-side bookkeeping for one live shard."""
+
+    shard_id: int
+    boxes: Tuple[BoundingBox, ...]
+    drivers: Tuple[Driver, ...]
+    #: Worker slot the shard is pinned to (-1 for driverless shards, which
+    #: never open a session — their orders are rejected coordinator-side).
+    slot: int
+    #: Shard-local task index -> global task index, in append order.
+    global_indices: List[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class DistributedStreamResult:
+    """The merged streamed solution plus the stream report."""
+
+    solution: MarketSolution
+    report: StreamReport
+    #: Global indices of orders no shard could serve.
+    rejected_tasks: Tuple[int, ...]
+    #: Final shard regions (post-rebalance); feed back into ``open_stream``'s
+    #: ``regions=`` to reuse a rebalanced partition, or to pin determinism.
+    regions: Tuple[Tuple[BoundingBox, ...], ...]
+
+
+class DistributedStreamSession:
+    """One live stream over per-shard sessions on a persistent pool.
+
+    Created by :meth:`DistributedCoordinator.open_stream`.  Call
+    :meth:`append_batch` for every publish-ordered arrival batch, then
+    :meth:`finish` to drain the shards and merge.  Appends are asynchronous
+    under the pooled policies: the coordinator keeps routing and building
+    deltas while workers run their Hungarian windows.
+    """
+
+    def __init__(
+        self,
+        fleet: Sequence[Driver],
+        cost_model: MarketCostModel,
+        config: BatchConfig,
+        pool: PersistentWorkerPool,
+        router: ZonePartition,
+        rebalance: Optional[RebalancePolicy] = None,
+    ) -> None:
+        self._fleet: Tuple[Driver, ...] = tuple(fleet)
+        self._fleet_pos: Dict[str, int] = {
+            driver.driver_id: i for i, driver in enumerate(self._fleet)
+        }
+        if len(self._fleet_pos) != len(self._fleet):
+            raise ValueError("driver ids must be unique")
+        self._cost_model = cost_model
+        self._config = config
+        self._pool = pool
+        self._router = router
+        self._rebalance = rebalance
+        self._token = next_stream_token()
+        self._start = time.perf_counter()
+
+        self._tasks: List[Task] = []  # global task list, in arrival order
+        self._task_shard: List[int] = []  # global index -> owning shard id
+        self._batch_ranges: List[Tuple[int, int]] = []  # per batch: [start, end)
+        self._inflight: List = []
+        self._rebalances = 0
+        self._finished = False
+        self._next_shard_id = 0
+        self._slot_counter = 0
+
+        self._shards: List[_StreamShard] = []
+        assignments = router.route(driver.source for driver in self._fleet)
+        for shard_index, group in enumerate(router.box_groups):
+            drivers = tuple(
+                driver
+                for driver, assigned in zip(self._fleet, assignments)
+                if int(assigned) == shard_index
+            )
+            self._shards.append(self._new_shard(group, drivers))
+
+    # ------------------------------------------------------------------
+    # shard lifecycle
+    # ------------------------------------------------------------------
+    def _new_shard(
+        self, boxes: Tuple[BoundingBox, ...], drivers: Tuple[Driver, ...]
+    ) -> _StreamShard:
+        shard_id = self._next_shard_id
+        self._next_shard_id += 1
+        if drivers:
+            slot = self._slot_counter % self._pool.worker_count
+            self._slot_counter += 1
+            self._inflight.append(
+                self._pool.submit(
+                    slot, _pool_open, self._token, shard_id, drivers,
+                    self._cost_model, self._config,
+                )
+            )
+        else:
+            slot = -1
+        return _StreamShard(shard_id=shard_id, boxes=tuple(boxes), drivers=drivers, slot=slot)
+
+    @property
+    def shard_regions(self) -> Tuple[Tuple[BoundingBox, ...], ...]:
+        """Current shard regions (changes when the rebalancer acts)."""
+        return tuple(shard.boxes for shard in self._shards)
+
+    @property
+    def batch_count(self) -> int:
+        return len(self._batch_ranges)
+
+    @property
+    def shard_task_counts(self) -> Tuple[int, ...]:
+        return tuple(len(shard.global_indices) for shard in self._shards)
+
+    def _raise_failed(self) -> None:
+        """Surface any already-failed async append/open without blocking,
+        pruning completed futures so the in-flight list stays bounded by the
+        work actually outstanding."""
+        pending = []
+        try:
+            for future in self._inflight:
+                done = getattr(future, "done", None)
+                if done is None or done():
+                    future.result()
+                else:
+                    pending.append(future)
+        except BaseException:
+            self._abort()
+            raise
+        self._inflight = pending
+
+    def _abort(self) -> None:
+        """Best-effort teardown after a failure: drop every worker-resident
+        session so an abandoned stream cannot leak state into a long-lived
+        pool, and mark the stream unusable."""
+        self._finished = True
+        self._inflight = []
+        for shard in self._shards:
+            if shard.drivers:
+                try:
+                    self._pool.submit(
+                        shard.slot, _pool_discard, self._token, shard.shard_id
+                    )
+                except BaseException:
+                    pass
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    def append_batch(self, tasks: Iterable[Task]) -> None:
+        """Route one publish-ordered arrival batch to its shards.
+
+        Under the pooled policies this returns as soon as the per-shard
+        deltas are queued; the workers' window dispatches overlap with the
+        next batch's routing.
+        """
+        if self._finished:
+            raise RuntimeError("stream already finished")
+        batch = tuple(tasks)
+        if not batch:
+            return
+        self._raise_failed()
+        start = len(self._tasks)
+        routed = self._route_and_dispatch(batch, start)
+        self._tasks.extend(batch)
+        self._task_shard.extend(routed)
+        self._batch_ranges.append((start, start + len(batch)))
+        self._maybe_rebalance()
+
+    def _route_and_dispatch(self, batch: Tuple[Task, ...], start: int) -> List[int]:
+        """Route a batch over the current shards, ship the per-shard deltas,
+        and return the owning shard id per task."""
+        positions = self._router.route(task.source for task in batch)
+        owners: List[int] = []
+        groups: Dict[int, List[Tuple[int, Task]]] = {}
+        for offset, (task, position) in enumerate(zip(batch, positions)):
+            shard = self._shards[int(position)]
+            owners.append(shard.shard_id)
+            groups.setdefault(int(position), []).append((start + offset, task))
+        for position, members in groups.items():
+            self._dispatch_to_shard(self._shards[position], members)
+        return owners
+
+    def _dispatch_to_shard(
+        self, shard: _StreamShard, members: List[Tuple[int, Task]]
+    ) -> None:
+        shard.global_indices.extend(g for g, _task in members)
+        if not shard.drivers:
+            return
+        delta = delta_from_tasks(shard.shard_id, [task for _g, task in members])
+        self._inflight.append(
+            self._pool.submit(shard.slot, _pool_append, self._token, shard.shard_id, delta)
+        )
+
+    # ------------------------------------------------------------------
+    # skew-aware rebalance
+    # ------------------------------------------------------------------
+    def _maybe_rebalance(self) -> None:
+        policy = self._rebalance
+        if policy is None or self.batch_count % policy.check_every_batches != 0:
+            return
+        counts = self.shard_task_counts
+        total = sum(counts)
+        if total == 0 or len(counts) == 0:
+            return
+        mean = total / len(counts)
+        hot = max(range(len(counts)), key=lambda i: (counts[i], -i))
+        can_split = policy.max_shards is None or len(counts) < policy.max_shards
+        if (
+            can_split
+            and counts[hot] >= policy.hot_factor * mean
+            and counts[hot] >= policy.min_split_tasks
+        ):
+            self._reshard([hot], list(self._router.split_group(hot)))
+            self._rebalances += 1
+            return
+        if len(counts) < 2:
+            return
+        cold = sorted(range(len(counts)), key=lambda i: (counts[i], i))[:2]
+        if all(counts[i] <= policy.cold_factor * mean for i in cold):
+            merged = self._shards[cold[0]].boxes + self._shards[cold[1]].boxes
+            self._reshard(sorted(cold), [merged])
+            self._rebalances += 1
+
+    def _reshard(
+        self,
+        removed_positions: List[int],
+        new_groups: List[Tuple[BoundingBox, ...]],
+    ) -> None:
+        """Replace the shards at ``removed_positions`` by fresh shards over
+        ``new_groups``, replaying the removed shards' order history.
+
+        The replay feeds the new sessions the same publish-ordered batch
+        schedule the stream itself saw, so the result is bit-identical to a
+        stream that used the new partition from the start (unaffected shards
+        never notice).
+        """
+        removed = [self._shards[p] for p in removed_positions]
+        removed_ids = {shard.shard_id for shard in removed}
+        for shard in removed:
+            if shard.drivers:
+                self._inflight.append(
+                    self._pool.submit(shard.slot, _pool_discard, self._token, shard.shard_id)
+                )
+
+        # Re-route the affected drivers (kept in fleet order, exactly as a
+        # from-start partition would meet them).
+        affected_drivers = sorted(
+            (driver for shard in removed for driver in shard.drivers),
+            key=lambda driver: self._fleet_pos[driver.driver_id],
+        )
+        sub_router = ZonePartition(self._router.region, new_groups)
+        driver_groups: List[List[Driver]] = [[] for _ in new_groups]
+        if affected_drivers:
+            for driver, assigned in zip(
+                affected_drivers, sub_router.route(d.source for d in affected_drivers)
+            ):
+                driver_groups[int(assigned)].append(driver)
+
+        keep = [
+            shard
+            for position, shard in enumerate(self._shards)
+            if position not in set(removed_positions)
+        ]
+        fresh = [
+            self._new_shard(tuple(group), tuple(drivers))
+            for group, drivers in zip(new_groups, driver_groups)
+        ]
+        self._shards = keep + fresh
+        self._router = ZonePartition(
+            self._router.region, [shard.boxes for shard in self._shards]
+        )
+
+        # Replay the removed shards' history batch by batch into the fresh
+        # sessions (same order, same batch boundaries as the original stream).
+        for start, end in self._batch_ranges:
+            members = [
+                (g, self._tasks[g])
+                for g in range(start, end)
+                if self._task_shard[g] in removed_ids
+            ]
+            if not members:
+                continue
+            fresh_groups: Dict[int, List[Tuple[int, Task]]] = {}
+            for (g, task), assigned in zip(
+                members, sub_router.route(task.source for _g, task in members)
+            ):
+                fresh_groups.setdefault(int(assigned), []).append((g, task))
+            for assigned, group_members in fresh_groups.items():
+                shard = fresh[assigned]
+                for g, _task in group_members:
+                    self._task_shard[g] = shard.shard_id
+                self._dispatch_to_shard(shard, group_members)
+
+    # ------------------------------------------------------------------
+    # merge
+    # ------------------------------------------------------------------
+    def finish(self) -> DistributedStreamResult:
+        """Drain every shard, settle the drivers and merge the results."""
+        if self._finished:
+            raise RuntimeError("stream already finished")
+        try:
+            for future in self._inflight:
+                future.result()
+            self._inflight = []
+
+            results: Dict[int, Optional[ShardStreamResult]] = {}
+            futures = []
+            for shard in self._shards:
+                if shard.drivers:
+                    futures.append(
+                        (shard, self._pool.submit(shard.slot, _pool_finish, self._token, shard.shard_id))
+                    )
+                else:
+                    results[shard.shard_id] = None
+            for shard, future in futures:
+                results[shard.shard_id] = future.result()
+        except BaseException:
+            # Leave no orphaned sessions behind in the (persistent) workers.
+            self._abort()
+            raise
+        self._finished = True
+
+        merged_assignment: Dict[str, Tuple[int, ...]] = {}
+        merged_profits: Dict[str, float] = {}
+        rejected: set = set()
+        durations: List[float] = []
+        for shard in self._shards:
+            result = results[shard.shard_id]
+            if result is None:
+                # Driverless shard: every publishable order it owns is lost.
+                rejected.update(
+                    g for g in shard.global_indices if self._tasks[g].is_publishable
+                )
+                durations.append(0.0)
+                continue
+            for driver_id, local_path in result.assignment.items():
+                merged_assignment[driver_id] = tuple(
+                    shard.global_indices[m] for m in local_path
+                )
+            merged_profits.update(result.driver_profits)
+            rejected.update(shard.global_indices[m] for m in result.rejected_tasks)
+            durations.append(result.elapsed_s)
+
+        instance = MarketInstance(
+            drivers=self._fleet, tasks=tuple(self._tasks), cost_model=self._cost_model
+        )
+        plans = tuple(
+            DriverPlan(
+                driver_id=driver.driver_id,
+                task_indices=merged_assignment.get(driver.driver_id, ()),
+                profit=merged_profits.get(driver.driver_id, 0.0),
+            )
+            for driver in self._fleet
+        )
+        solution = MarketSolution(
+            instance=instance, plans=plans, objective=Objective.DRIVERS_PROFIT
+        )
+        report = StreamReport(
+            shard_count=len(self._shards),
+            batch_count=self.batch_count,
+            total_value=solution.total_value,
+            served_count=solution.served_count,
+            rejected_count=len(rejected),
+            wall_clock_s=time.perf_counter() - self._start,
+            slowest_shard_s=max(durations) if durations else 0.0,
+            per_shard_task_counts=self.shard_task_counts,
+            per_shard_durations=tuple(durations),
+            executor=self._pool.executor,
+            worker_count=self._pool.worker_count,
+            rebalance_count=self._rebalances,
+        )
+        return DistributedStreamResult(
+            solution=solution,
+            report=report,
+            rejected_tasks=tuple(sorted(rejected)),
+            regions=self.shard_regions,
+        )
+
+
 class DistributedCoordinator:
     """Partition, dispatch to workers, merge.
 
@@ -231,11 +694,104 @@ class DistributedCoordinator:
         self.executor = executor
         self.max_workers = max_workers
         self.base_seed = base_seed
+        self._stream_pool: Optional[PersistentWorkerPool] = None
 
     @property
     def parallel(self) -> bool:
         """Legacy flag: whether a pooled executor is configured."""
         return self.executor != "serial"
+
+    # ------------------------------------------------------------------
+    # streaming on the persistent pool
+    # ------------------------------------------------------------------
+    def stream_pool(self) -> PersistentWorkerPool:
+        """The coordinator's persistent worker pool (created lazily, kept
+        alive across streams so re-solves and sweeps amortise its startup)."""
+        if self._stream_pool is None or self._stream_pool.executor != self.executor:
+            if self._stream_pool is not None:
+                self._stream_pool.close()
+            self._stream_pool = PersistentWorkerPool(
+                executor=self.executor, worker_count=self.max_workers
+            )
+        return self._stream_pool
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent; a new stream reopens it)."""
+        if self._stream_pool is not None:
+            self._stream_pool.close()
+            self._stream_pool = None
+
+    def __enter__(self) -> "DistributedCoordinator":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def open_stream(
+        self,
+        drivers: Iterable[Driver],
+        cost_model: Optional[MarketCostModel] = None,
+        *,
+        config: Optional[BatchConfig] = None,
+        regions: Optional[Sequence[Sequence[BoundingBox]]] = None,
+        rebalance: Optional[RebalancePolicy] = None,
+    ) -> DistributedStreamSession:
+        """Open a live stream: per-shard streaming sessions on the pool.
+
+        Drivers are routed to shards by source over the partitioner's grid
+        (or the explicit ``regions``, e.g. a previous stream's post-rebalance
+        :attr:`DistributedStreamResult.regions`).  Feed publish-ordered
+        arrival batches with ``append_batch`` and merge with ``finish``.
+        """
+        region = self.partitioner.region
+        if regions is None:
+            router = ZonePartition.from_grid(
+                region, self.partitioner.rows, self.partitioner.cols
+            )
+        else:
+            router = ZonePartition(region, regions)
+        return DistributedStreamSession(
+            fleet=drivers,
+            cost_model=cost_model or MarketCostModel(),
+            config=config or BatchConfig(),
+            pool=self.stream_pool(),
+            router=router,
+            rebalance=rebalance,
+        )
+
+    def solve_stream(
+        self,
+        instance: MarketInstance,
+        arrival_batches: Optional[Iterable[Sequence[Task]]] = None,
+        *,
+        config: Optional[BatchConfig] = None,
+        regions: Optional[Sequence[Sequence[BoundingBox]]] = None,
+        rebalance: Optional[RebalancePolicy] = None,
+    ) -> DistributedStreamResult:
+        """Stream ``instance``'s orders through the sharded pool and merge.
+
+        ``arrival_batches`` defaults to the instance's own tasks — *all* of
+        them, including non-publishable ones — grouped into publish windows
+        (:func:`~repro.online.batch.stream_schedule`), which makes
+        ``solve_stream(instance)`` the sharded twin of
+        ``BatchedSimulator.run`` (same task population, so metrics share
+        denominators) and bit-identical to a serial per-shard ``run_stream``
+        replay of the same schedule.  The merged solution's instance holds
+        the tasks in arrival (publish) order.
+        """
+        chosen_config = config or BatchConfig()
+        if arrival_batches is None:
+            arrival_batches = stream_schedule(instance.tasks, chosen_config.window_s)
+        session = self.open_stream(
+            instance.drivers,
+            instance.cost_model,
+            config=chosen_config,
+            regions=regions,
+            rebalance=rebalance,
+        )
+        for batch in arrival_batches:
+            session.append_batch(batch)
+        return session.finish()
 
     def solve(self, instance: MarketInstance) -> DistributedResult:
         """Solve ``instance`` shard by shard and merge the results."""
@@ -351,8 +907,6 @@ class DistributedCoordinator:
         """
         if self.solver_name == "greedy":
             return MarketSolution.from_assignment(instance, merged, Objective.DRIVERS_PROFIT)
-        from ..core.solution import DriverPlan
-
         plans = tuple(
             DriverPlan(
                 driver_id=driver.driver_id,

@@ -78,6 +78,52 @@ class CoordinatorReport:
     empty_shard_count: int = 0
 
 
+@dataclass(frozen=True, slots=True)
+class ShardStreamResult:
+    """A streaming worker's answer after its shard's stream is drained."""
+
+    shard_id: int
+    #: driver id -> shard-local task indices (drivers with work only).
+    assignment: Dict[str, Tuple[int, ...]]
+    #: driver id -> profit of that driver's simulated plan.
+    driver_profits: Dict[str, float]
+    #: Shard-local indices of orders the stream could not serve.
+    rejected_tasks: Tuple[int, ...]
+    task_count: int
+    total_value: float
+    served_count: int
+    #: Worker-side time spent in this shard's appends + final flush.
+    elapsed_s: float
+
+
+@dataclass(frozen=True, slots=True)
+class StreamReport:
+    """Summary of one streamed solve on the persistent worker pool."""
+
+    shard_count: int
+    batch_count: int
+    total_value: float
+    served_count: int
+    rejected_count: int
+    wall_clock_s: float
+    slowest_shard_s: float
+    per_shard_task_counts: Tuple[int, ...]
+    per_shard_durations: Tuple[float, ...]
+    executor: str = "serial"
+    worker_count: int = 1
+    #: Skew-aware split/merge actions taken between windows.
+    rebalance_count: int = 0
+
+    @property
+    def critical_path_speedup(self) -> float:
+        """Idealised speed-up if shards streamed fully in parallel: total
+        worker time divided by the slowest shard's time."""
+        total_worker_time = sum(self.per_shard_durations)
+        if self.slowest_shard_s <= 0:
+            return 1.0
+        return total_worker_time / self.slowest_shard_s
+
+
 class Stopwatch:
     """A tiny context-manager stopwatch used by workers and the coordinator."""
 

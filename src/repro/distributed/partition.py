@@ -143,6 +143,102 @@ class SpatialPartitioner:
         return PartitionPlan(shards=tuple(shards), unassigned_tasks=())
 
 
+class ZonePartition:
+    """Explicit shard regions: each shard owns a *set* of boxes.
+
+    The uniform grid of :class:`SpatialPartitioner` is enough for a static
+    partition, but the streaming coordinator's skew-aware rebalance produces
+    non-uniform shards: splitting the hottest shard replaces one box with its
+    two halves, merging cold shards pools their boxes into one shard.  A
+    ``ZonePartition`` routes points over such box sets deterministically:
+
+    * points are first clamped into the outer service region (mirroring the
+      grid partitioner's clamp of out-of-box points);
+    * containment is half-open (``south <= lat < north``) except on the outer
+      region's own north/east edges, so as long as the boxes tile the region
+      every point belongs to **exactly one** box — routing is independent of
+      shard order, which is what makes a rebalanced stream reproducible as a
+      from-start partition.
+    """
+
+    def __init__(
+        self,
+        region: BoundingBox,
+        box_groups: Sequence[Sequence[BoundingBox]],
+    ) -> None:
+        if not box_groups or any(not group for group in box_groups):
+            raise ValueError("every shard needs at least one box")
+        self.region = region
+        self.box_groups: Tuple[Tuple[BoundingBox, ...], ...] = tuple(
+            tuple(group) for group in box_groups
+        )
+
+    @classmethod
+    def from_grid(cls, region: BoundingBox, rows: int, cols: int) -> "ZonePartition":
+        """One single-box shard per cell of a ``rows x cols`` grid."""
+        return cls(region, [(box,) for box in region.split(rows, cols)])
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.box_groups)
+
+    def _box_mask(
+        self, box: BoundingBox, lats: np.ndarray, lons: np.ndarray
+    ) -> np.ndarray:
+        lat_hi = (
+            lats <= box.north if box.north >= self.region.north else lats < box.north
+        )
+        lon_hi = lons <= box.east if box.east >= self.region.east else lons < box.east
+        return (lats >= box.south) & lat_hi & (lons >= box.west) & lon_hi
+
+    def route(self, points: Iterable[GeoPoint]) -> np.ndarray:
+        """The shard index of every point (clamped into the region first)."""
+        coords = coord_array(list(points))
+        if coords.shape[0] == 0:
+            return np.empty(0, dtype=np.intp)
+        lats = np.clip(coords[:, 0], self.region.south, self.region.north)
+        lons = np.clip(coords[:, 1], self.region.west, self.region.east)
+        out = np.full(coords.shape[0], -1, dtype=np.intp)
+        for shard_index, group in enumerate(self.box_groups):
+            unassigned = out < 0
+            if not unassigned.any():
+                break
+            for box in group:
+                hit = unassigned & self._box_mask(box, lats, lons)
+                out[hit] = shard_index
+                unassigned &= ~hit
+        if (out < 0).any():
+            # Float-boundary stragglers (boxes not exactly tiling the region):
+            # deterministically hand each to the shard whose first box centre
+            # is nearest.
+            centers = np.array(
+                [[g[0].center.lat, g[0].center.lon] for g in self.box_groups]
+            )
+            for i in np.nonzero(out < 0)[0]:
+                d2 = (centers[:, 0] - lats[i]) ** 2 + (centers[:, 1] - lons[i]) ** 2
+                out[i] = int(np.argmin(d2))
+        return out
+
+    def split_group(self, shard_index: int) -> Tuple[
+        Tuple[BoundingBox, ...], Tuple[BoundingBox, ...]
+    ]:
+        """The two box groups a split of ``shard_index`` would produce.
+
+        A single-box shard splits its box in half along the longer axis; a
+        multi-box shard (a previous merge) splits its box list in half.
+        """
+        group = self.box_groups[shard_index]
+        if len(group) > 1:
+            half = len(group) // 2
+            return group[:half], group[half:]
+        box = group[0]
+        if box.height_km() >= box.width_km():
+            first, second = box.split(2, 1)
+        else:
+            first, second = box.split(1, 2)
+        return (first,), (second,)
+
+
 def translate_assignment(
     shard: MarketShard, local_assignment: Dict[str, Sequence[int]]
 ) -> Dict[str, Tuple[int, ...]]:

@@ -13,12 +13,31 @@ The round trip is exact: coordinates, timestamps and prices are stored as
 worker rebuilds with :func:`instance_from_payload` is value-identical to the
 shard's own sub-instance and every deterministic solver produces bit-identical
 results on either side of the pickle boundary.
+
+Parity contracts
+----------------
+
+* **Primal inputs only.**  Payloads carry driver/task coordinates, windows,
+  deadlines and prices plus the cost-model configuration — never object
+  graphs, task networks or per-driver task maps.  Workers rebuild all
+  derived state themselves, so the wire format can never smuggle stale
+  caches across the process boundary.
+* **Bit-identical round trip.**  ``instance_from_payload(payload_from_shard(s))``
+  is value-identical to ``s.instance``, and merged coordinator solutions are
+  bit-identical across the serial / thread / process executors.
+* **Deltas == full rebuild.**  For the streaming path, a
+  :class:`ShardPayloadDelta` ships *only the new task columns* of one arrival
+  batch.  Reconstructing the batches of a stream with
+  :func:`tasks_from_delta` and appending them in order yields exactly the
+  task tuple a full :class:`ShardPayload` rebuild would produce (pinned by a
+  hypothesis test in ``tests/distributed/test_payload.py``), which is what
+  keeps the pooled stream==replay merge bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -63,28 +82,16 @@ class ShardPayload:
         return len(self.task_ids)
 
 
-def payload_from_shard(shard: MarketShard) -> ShardPayload:
-    """Flatten a shard's sub-instance into a :class:`ShardPayload`."""
-    instance = shard.instance
-    n, m = instance.driver_count, instance.task_count
-
-    driver_coords = np.empty((n, 4), dtype=float)
-    driver_windows = np.empty((n, 2), dtype=float)
-    for i, driver in enumerate(instance.drivers):
-        driver_coords[i] = (
-            driver.source.lat,
-            driver.source.lon,
-            driver.destination.lat,
-            driver.destination.lon,
-        )
-        driver_windows[i] = (driver.start_ts, driver.end_ts)
-
+def _flatten_tasks(tasks: Sequence[Task]) -> Tuple[np.ndarray, ...]:
+    """Flatten tasks into the ``(coords, times, prices, wtps, distances)``
+    arrays shared by :class:`ShardPayload` and :class:`ShardPayloadDelta`."""
+    m = len(tasks)
     task_coords = np.empty((m, 4), dtype=float)
     task_times = np.empty((m, 3), dtype=float)
     task_prices = np.empty(m, dtype=float)
     task_wtps = np.full(m, np.nan, dtype=float)
     task_distances = np.full(m, np.nan, dtype=float)
-    for j, task in enumerate(instance.tasks):
+    for j, task in enumerate(tasks):
         task_coords[j] = (
             task.source.lat,
             task.source.lon,
@@ -97,6 +104,106 @@ def payload_from_shard(shard: MarketShard) -> ShardPayload:
             task_wtps[j] = task.wtp
         if task.distance_km is not None:
             task_distances[j] = task.distance_km
+    return task_coords, task_times, task_prices, task_wtps, task_distances
+
+
+def _rebuild_tasks(
+    task_ids: Tuple[str, ...],
+    task_coords: np.ndarray,
+    task_times: np.ndarray,
+    task_prices: np.ndarray,
+    task_wtps: np.ndarray,
+    task_distances: np.ndarray,
+) -> Tuple[Task, ...]:
+    """The exact inverse of :func:`_flatten_tasks` (value-identical tasks)."""
+    return tuple(
+        Task(
+            task_id=task_id,
+            publish_ts=float(times[0]),
+            source=GeoPoint(float(coords[0]), float(coords[1])),
+            destination=GeoPoint(float(coords[2]), float(coords[3])),
+            start_deadline_ts=float(times[1]),
+            end_deadline_ts=float(times[2]),
+            price=float(price),
+            wtp=None if np.isnan(wtp) else float(wtp),
+            distance_km=None if np.isnan(distance) else float(distance),
+        )
+        for task_id, coords, times, price, wtp, distance in zip(
+            task_ids, task_coords, task_times, task_prices, task_wtps, task_distances
+        )
+    )
+
+
+@dataclass(frozen=True)
+class ShardPayloadDelta:
+    """One arrival batch's *new task columns*, flattened for cheap pickling.
+
+    The streaming coordinator ships one delta per (shard, batch) instead of
+    re-sending the shard's whole payload: only the new tasks cross the
+    process boundary, so the per-batch wire cost is ``O(B)`` regardless of
+    how many tasks the shard has accumulated.  Field conventions are
+    identical to :class:`ShardPayload` (``NaN`` sentinels for optional
+    fields), and :func:`tasks_from_delta` restores value-identical tasks.
+    """
+
+    shard_id: int
+    task_ids: Tuple[str, ...]
+    task_coords: np.ndarray  # (B, 4)
+    task_times: np.ndarray  # (B, 3): publish, start deadline, end deadline
+    task_prices: np.ndarray  # (B,)
+    task_wtps: np.ndarray  # (B,), NaN where the task had no WTP
+    task_distances: np.ndarray  # (B,), NaN where no trace distance was known
+
+    @property
+    def task_count(self) -> int:
+        return len(self.task_ids)
+
+
+def delta_from_tasks(shard_id: int, tasks: Sequence[Task]) -> ShardPayloadDelta:
+    """Flatten one arrival batch into a :class:`ShardPayloadDelta`."""
+    task_coords, task_times, task_prices, task_wtps, task_distances = _flatten_tasks(tasks)
+    return ShardPayloadDelta(
+        shard_id=shard_id,
+        task_ids=tuple(t.task_id for t in tasks),
+        task_coords=task_coords,
+        task_times=task_times,
+        task_prices=task_prices,
+        task_wtps=task_wtps,
+        task_distances=task_distances,
+    )
+
+
+def tasks_from_delta(delta: ShardPayloadDelta) -> Tuple[Task, ...]:
+    """Rebuild the arrival batch (value-identical to the original tasks)."""
+    return _rebuild_tasks(
+        delta.task_ids,
+        delta.task_coords,
+        delta.task_times,
+        delta.task_prices,
+        delta.task_wtps,
+        delta.task_distances,
+    )
+
+
+def payload_from_shard(shard: MarketShard) -> ShardPayload:
+    """Flatten a shard's sub-instance into a :class:`ShardPayload`."""
+    instance = shard.instance
+    n = instance.driver_count
+
+    driver_coords = np.empty((n, 4), dtype=float)
+    driver_windows = np.empty((n, 2), dtype=float)
+    for i, driver in enumerate(instance.drivers):
+        driver_coords[i] = (
+            driver.source.lat,
+            driver.source.lon,
+            driver.destination.lat,
+            driver.destination.lon,
+        )
+        driver_windows[i] = (driver.start_ts, driver.end_ts)
+
+    task_coords, task_times, task_prices, task_wtps, task_distances = _flatten_tasks(
+        instance.tasks
+    )
 
     return ShardPayload(
         shard_id=shard.spec.shard_id,
@@ -127,25 +234,12 @@ def instance_from_payload(payload: ShardPayload) -> MarketInstance:
             payload.driver_ids, payload.driver_coords, payload.driver_windows
         )
     )
-    tasks = tuple(
-        Task(
-            task_id=task_id,
-            publish_ts=float(times[0]),
-            source=GeoPoint(float(coords[0]), float(coords[1])),
-            destination=GeoPoint(float(coords[2]), float(coords[3])),
-            start_deadline_ts=float(times[1]),
-            end_deadline_ts=float(times[2]),
-            price=float(price),
-            wtp=None if np.isnan(wtp) else float(wtp),
-            distance_km=None if np.isnan(distance) else float(distance),
-        )
-        for task_id, coords, times, price, wtp, distance in zip(
-            payload.task_ids,
-            payload.task_coords,
-            payload.task_times,
-            payload.task_prices,
-            payload.task_wtps,
-            payload.task_distances,
-        )
+    tasks = _rebuild_tasks(
+        payload.task_ids,
+        payload.task_coords,
+        payload.task_times,
+        payload.task_prices,
+        payload.task_wtps,
+        payload.task_distances,
     )
     return MarketInstance(drivers=drivers, tasks=tasks, cost_model=payload.cost_model)

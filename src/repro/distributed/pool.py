@@ -1,0 +1,242 @@
+"""Persistent worker pool hosting per-shard streaming market sessions.
+
+PR 2's process executor forks a fresh pool for every ``solve()`` and ships
+each shard's whole payload once — fine for offline re-solves, wasteful for a
+live stream where the same shards receive dozens of arrival batches and for
+ablation sweeps that re-solve the same city many times.  This module keeps
+the workers (and the per-shard streaming state living inside them) alive:
+
+* :class:`PersistentWorkerPool` owns ``worker_count`` *slot executors*.  Each
+  slot is a single-worker :class:`~concurrent.futures.ProcessPoolExecutor`
+  (or ``ThreadPoolExecutor``, or inline execution for the serial policy), so
+  every call submitted to a slot runs in the **same** process, in submission
+  order.  Shards are pinned to slots, which is what lets a worker process
+  hold a shard's :class:`~repro.market.streaming.StreamingMarketInstance`
+  across batches instead of rebuilding it.
+* :class:`ShardStreamSession` is the worker-resident state of one shard's
+  stream: a streaming instance plus a
+  :class:`~repro.online.batch.BatchedSimulator` consuming it through the
+  incremental ``stream_begin`` / ``stream_feed`` / ``stream_end`` API — the
+  exact ``run_stream`` code path, so pooled streaming inherits the
+  stream==replay parity contract.
+* The ``_pool_open`` / ``_pool_append`` / ``_pool_finish`` / ``_pool_discard``
+  functions are the wire protocol.  They are top-level (picklable by
+  reference) and resolve sessions from a per-process registry keyed by a
+  coordinator-unique token, so one long-lived pool can serve many streams
+  (re-solves, ablation sweeps) back to back — the startup cost of the worker
+  processes is paid once per pool, not once per solve.
+
+Only primal inputs ever cross the process boundary: drivers + cost model at
+open (plain frozen dataclasses with no derived caches) and
+:class:`~repro.distributed.payload.ShardPayloadDelta` arrays per batch (the
+new task columns only).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..market.cost import MarketCostModel
+from ..market.driver import Driver
+from ..market.streaming import StreamingMarketInstance
+from ..market.task import Task
+from ..online.batch import BatchConfig, BatchedSimulator
+from .messages import ShardStreamResult, Stopwatch
+from .payload import ShardPayloadDelta, tasks_from_delta
+
+#: Executor policies accepted by the pool (mirrors the coordinator's).
+POOL_POLICIES = ("serial", "thread", "process")
+
+
+class ShardStreamSession:
+    """One shard's live stream state, resident in its pinned worker.
+
+    Wraps a :class:`StreamingMarketInstance` over the shard's drivers and a
+    :class:`BatchedSimulator` consuming it incrementally.  ``append`` feeds
+    one publish-ordered arrival batch (dispatching every window the watermark
+    proves complete); ``finish`` flushes the final window and settles.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        drivers: Sequence[Driver],
+        cost_model: MarketCostModel,
+        config: Optional[BatchConfig] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self._instance = StreamingMarketInstance(drivers, cost_model)
+        self._simulator = BatchedSimulator(self._instance, config or BatchConfig())
+        self._simulator.stream_begin()
+        self._elapsed_s = 0.0
+        self._task_count = 0
+
+    @property
+    def task_count(self) -> int:
+        return self._task_count
+
+    def append(self, tasks: Sequence[Task]) -> int:
+        """Feed one arrival batch; returns the shard's running task count."""
+        with Stopwatch() as watch:
+            self._simulator.stream_feed(tasks)
+        self._elapsed_s += watch.elapsed_s
+        self._task_count += len(tasks)
+        return self._task_count
+
+    def finish(self) -> ShardStreamResult:
+        """Flush the last window, settle every driver, report the result."""
+        with Stopwatch() as watch:
+            outcome = self._simulator.stream_end()
+        self._elapsed_s += watch.elapsed_s
+        return ShardStreamResult(
+            shard_id=self.shard_id,
+            assignment=outcome.assignment(),
+            driver_profits={
+                record.driver_id: record.profit
+                for record in outcome.records
+                if record.task_indices
+            },
+            rejected_tasks=outcome.rejected_tasks,
+            task_count=self._task_count,
+            total_value=outcome.total_value,
+            served_count=outcome.served_count,
+            elapsed_s=self._elapsed_s,
+        )
+
+
+# ----------------------------------------------------------------------
+# worker-side protocol
+# ----------------------------------------------------------------------
+#: Sessions resident in *this* process, keyed by (stream token, shard id).
+#: In a worker process the registry holds the shards pinned to that worker;
+#: under the serial/thread policies it lives in the coordinator's process.
+_SESSIONS: Dict[Tuple[int, int], ShardStreamSession] = {}
+
+#: Coordinator-side token source; unique per coordinator process, which makes
+#: (token, shard_id) unique inside every worker even when one pool serves
+#: many consecutive streams.
+_TOKENS = itertools.count(1)
+
+
+def next_stream_token() -> int:
+    """A process-unique token identifying one stream on a shared pool."""
+    return next(_TOKENS)
+
+
+def _pool_open(
+    token: int,
+    shard_id: int,
+    drivers: Tuple[Driver, ...],
+    cost_model: MarketCostModel,
+    config: Optional[BatchConfig],
+) -> int:
+    _SESSIONS[(token, shard_id)] = ShardStreamSession(
+        shard_id, drivers, cost_model, config
+    )
+    return shard_id
+
+
+def _pool_append(token: int, shard_id: int, delta: ShardPayloadDelta) -> int:
+    return _SESSIONS[(token, shard_id)].append(tasks_from_delta(delta))
+
+
+def _pool_finish(token: int, shard_id: int) -> ShardStreamResult:
+    return _SESSIONS.pop((token, shard_id)).finish()
+
+
+def _pool_discard(token: int, shard_id: int) -> None:
+    _SESSIONS.pop((token, shard_id), None)
+
+
+# ----------------------------------------------------------------------
+# the pool
+# ----------------------------------------------------------------------
+class _ImmediateFuture:
+    """Future-alike wrapping an already-computed result (serial policy)."""
+
+    __slots__ = ("_result", "_exception")
+
+    def __init__(self, result=None, exception: Optional[BaseException] = None) -> None:
+        self._result = result
+        self._exception = exception
+
+    def result(self):
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+
+class PersistentWorkerPool:
+    """A fixed set of slot executors that stay alive across streams.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` (inline execution, 1 slot), ``"thread"`` or
+        ``"process"``.  Thread/process slots are **single-worker** executors:
+        work submitted to one slot runs in one OS thread/process in
+        submission order, which is the ordering + locality guarantee the
+        shard sessions rely on.
+    worker_count:
+        Number of slots for the pooled policies (default: CPU count).
+
+    The pool is reusable: open as many consecutive streams on it as needed
+    (each identified by :func:`next_stream_token`), and ``close()`` it once —
+    that is the amortisation the streaming benchmarks measure.
+    """
+
+    def __init__(self, executor: str = "process", worker_count: Optional[int] = None) -> None:
+        if executor not in POOL_POLICIES:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {POOL_POLICIES}"
+            )
+        self.executor = executor
+        if executor == "serial":
+            self.worker_count = 1
+        else:
+            self.worker_count = max(1, worker_count or os.cpu_count() or 1)
+        self._slots: List[Optional[Executor]] = [None] * self.worker_count
+        self._closed = False
+
+    def _slot_executor(self, slot: int) -> Executor:
+        pool = self._slots[slot]
+        if pool is None:
+            if self.executor == "thread":
+                pool = ThreadPoolExecutor(max_workers=1)
+            else:
+                pool = ProcessPoolExecutor(max_workers=1)
+            self._slots[slot] = pool
+        return pool
+
+    def submit(self, slot: int, fn, /, *args):
+        """Run ``fn(*args)`` on a slot (inline under the serial policy).
+
+        Returns a future; calls submitted to the same slot execute in order,
+        in the same thread/process.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        slot %= self.worker_count
+        if self.executor == "serial":
+            try:
+                return _ImmediateFuture(result=fn(*args))
+            except BaseException as exc:  # surfaced via .result(), like a Future
+                return _ImmediateFuture(exception=exc)
+        return self._slot_executor(slot).submit(fn, *args)
+
+    def close(self) -> None:
+        """Shut every slot executor down (idempotent)."""
+        self._closed = True
+        for pool in self._slots:
+            if pool is not None:
+                pool.shutdown(wait=True)
+        self._slots = [None] * self.worker_count
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -111,6 +111,9 @@ class PartitionPoint:
 class PartitionAblationResult:
     baseline_profit: float
     points: Tuple[PartitionPoint, ...]
+    #: ``"greedy"`` (offline re-solve per shard) or ``"stream"`` (live
+    #: windowed dispatch through the persistent shard pool).
+    mode: str = "greedy"
 
     def render(self) -> str:
         rows = [
@@ -124,8 +127,12 @@ class PartitionAblationResult:
             ]
             for p in self.points
         ]
+        baseline_label = (
+            "unsharded greedy" if self.mode == "greedy" else "unsharded batched stream"
+        )
         return (
-            f"Partitioning ablation (baseline unsharded greedy profit = {self.baseline_profit:.2f})\n"
+            f"Partitioning ablation ({self.mode} mode, baseline {baseline_label} "
+            f"profit = {self.baseline_profit:.2f})\n"
             + format_table(
                 ["grid", "shards", "profit", "served", "wall_clock_s", "retention"], rows
             )
@@ -138,41 +145,61 @@ def run_partition_ablation(
     config: Optional[ExperimentConfig] = None,
     executor: str = "serial",
     max_workers: Optional[int] = None,
+    stream: bool = False,
+    window_s: float = 60.0,
 ) -> PartitionAblationResult:
     """Solve the same market with increasingly fine spatial shards.
 
     ``executor`` selects the coordinator's fan-out policy (``"serial"``,
     ``"thread"`` or ``"process"``); the merged solutions are identical across
-    policies, only ``wall_clock_s`` changes.
+    policies, only ``wall_clock_s`` changes.  With ``stream=True`` each grid
+    point consumes the day as a *live* order stream through per-shard
+    streaming sessions on the coordinator's persistent worker pool
+    (``solve_stream``) instead of an offline greedy re-solve — the streaming
+    twin of the same sharding trade-off, with ``window_s`` dispatch windows.
     """
     cfg = config or ExperimentConfig()
     workload = build_workload(cfg)
     count = driver_count if driver_count is not None else cfg.scale.driver_counts[-1]
     instance = workload.instance_with_drivers(count)
 
-    baseline = greedy_assignment(instance).total_value
+    if stream:
+        from ..online.batch import BatchConfig, run_batched
+
+        batch_config = BatchConfig(window_s=window_s)
+        baseline = run_batched(instance, config=batch_config).total_value
+    else:
+        batch_config = None
+        baseline = greedy_assignment(instance).total_value
+
     points: List[PartitionPoint] = []
     for rows, cols in grids:
-        coordinator = DistributedCoordinator(
+        with DistributedCoordinator(
             SpatialPartitioner(cfg.bounding_box, rows, cols),
             solver_name="greedy",
             executor=executor,
             max_workers=max_workers,
-        )
-        start = time.perf_counter()
-        result = coordinator.solve(instance)
-        elapsed = time.perf_counter() - start
-        retention = (
-            result.solution.total_value / baseline if baseline > 0 else 1.0
-        )
+        ) as coordinator:
+            start = time.perf_counter()
+            if stream:
+                streamed = coordinator.solve_stream(instance, config=batch_config)
+                solution = streamed.solution
+            else:
+                solution = coordinator.solve(instance).solution
+            elapsed = time.perf_counter() - start
+        retention = solution.total_value / baseline if baseline > 0 else 1.0
         points.append(
             PartitionPoint(
                 shard_grid=(rows, cols),
                 shard_count=rows * cols,
-                total_profit=result.solution.total_value,
-                served_count=result.solution.served_count,
+                total_profit=solution.total_value,
+                served_count=solution.served_count,
                 wall_clock_s=elapsed,
                 value_retention=retention,
             )
         )
-    return PartitionAblationResult(baseline_profit=baseline, points=tuple(points))
+    return PartitionAblationResult(
+        baseline_profit=baseline,
+        points=tuple(points),
+        mode="stream" if stream else "greedy",
+    )

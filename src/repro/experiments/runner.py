@@ -49,12 +49,16 @@ def run_everything(
     scale: Optional[ExperimentScale] = None,
     bound_kind: BoundKind = BoundKind.LP_RELAXATION,
     partition_executor: str = "serial",
+    stream: bool = False,
 ) -> FullRunResult:
     """Run every experiment at the given scale (default: the reduced scale).
 
     ``partition_executor`` selects the distributed coordinator's fan-out for
     the partitioning ablation (``"process"`` uses every core on city-scale
-    runs; the merged solutions are executor-independent).
+    runs; the merged solutions are executor-independent).  ``stream=True``
+    runs that ablation in live streaming mode — per-shard streaming sessions
+    on the persistent worker pool instead of offline greedy re-solves — so
+    the executor and streaming knobs can be swept together from the CLI.
     """
     chosen_scale = scale or DEFAULT_SCALE
     hitch_cfg = ExperimentConfig(scale=chosen_scale, working_model=WorkingModel.HITCHHIKING)
@@ -67,7 +71,7 @@ def run_everything(
         market_insights=run_market_insight_sweep(config=hitch_cfg),
         surge_ablation=run_surge_ablation(config=hitch_cfg),
         partition_ablation=run_partition_ablation(
-            config=hitch_cfg, executor=partition_executor
+            config=hitch_cfg, executor=partition_executor, stream=stream
         ),
     )
 

@@ -28,6 +28,20 @@ which is what lets the online simulators consume a full day as a stream.
 ``append_tasks`` also reports which drivers are *affected* — gained at least
 one entry-feasible task — so streaming consumers (dispatch loops, re-solvers)
 know whom to reconsider without diffing the maps themselves.
+
+Parity contracts
+----------------
+
+* **Incremental == rebuild, bit for bit.**  After any sequence of
+  ``append_tasks`` batches, every maintained array equals a from-scratch
+  :class:`~repro.market.instance.MarketInstance` over the same inputs under
+  ``np.array_equal`` — not approximately (hypothesis-pinned in
+  ``tests/market/test_streaming.py``).
+* **Stream == replay.**  Because of the above, any simulator consuming a
+  streaming instance live (``BatchedSimulator.run_stream`` and the
+  distributed ``solve_stream`` shard sessions built on it) produces exactly
+  the outcome a replay over the completed task set would — the property the
+  online and distributed layers' parity tests rest on.
 """
 
 from __future__ import annotations

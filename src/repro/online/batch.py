@@ -113,6 +113,30 @@ def window_batches(tasks: Iterable[Task], window_s: float) -> List[List[Task]]:
     return [batch for _slot, batch in sorted(slots.items())]
 
 
+def stream_schedule(tasks: Iterable[Task], window_s: float) -> List[List[Task]]:
+    """Like :func:`window_batches`, but carrying **every** task.
+
+    Non-publishable tasks never dispatch, but a streamed instance must still
+    contain them so its metrics (serve rate, tasks-per-driver denominators)
+    match a replay over the full task set.  They ride along in the batch of
+    their publish slot (anchored at the first *publishable* task, exactly as
+    :func:`window_batches` anchors the windows), so the publishable
+    subsequence — and therefore every dispatch decision — is identical to
+    feeding :func:`window_batches` directly.
+    """
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    ordered = sorted(tasks, key=lambda t: t.publish_ts)  # stable: input order on ties
+    anchor = next((t for t in ordered if t.is_publishable), None)
+    if anchor is None:
+        return [ordered] if ordered else []
+    first_publish = anchor.publish_ts
+    slots: Dict[int, List[Task]] = {}
+    for task in ordered:
+        slots.setdefault(_publish_slot(task.publish_ts, first_publish, window_s), []).append(task)
+    return [batch for _slot, batch in sorted(slots.items())]
+
+
 class BatchedSimulator:
     """Rolling-horizon batched dispatch over a market instance.
 
@@ -132,6 +156,7 @@ class BatchedSimulator:
         self._states: Dict[str, DriverState] = {}
         self._pending: List[int] = []
         self._rejected: List[int] = []
+        self._streaming = False
 
     # ------------------------------------------------------------------
     # main loops
@@ -157,61 +182,93 @@ class BatchedSimulator:
         order; an order publishing before an already-dispatched window
         raises.
         """
-        append = getattr(self.instance, "append_tasks", None)
-        if append is None:
+        self.stream_begin()
+        for batch in arrival_batches:
+            self.stream_feed(batch)
+        return self.stream_end()
+
+    # ------------------------------------------------------------------
+    # incremental streaming API
+    # ------------------------------------------------------------------
+    def stream_begin(self) -> None:
+        """Start consuming a live stream batch by batch.
+
+        The incremental triple ``stream_begin`` / :meth:`stream_feed` /
+        :meth:`stream_end` is exactly :meth:`run_stream` with the loop turned
+        inside out, so callers that receive batches one at a time (the
+        distributed shard workers) run the identical code path — the
+        stream==replay parity contract extends to them for free.
+        """
+        if getattr(self.instance, "append_tasks", None) is None:
             raise TypeError(
                 "run_stream needs a streaming instance with append_tasks(); "
                 "use StreamingMarketInstance (or run() for a static instance)"
             )
         self._begin()
+        self._streaming = True
+        self._stream_first_publish: Optional[float] = None
+        self._stream_watermark = float("-inf")  # highest publish time accepted
+        self._stream_open_slot: Optional[int] = None
+        self._stream_open_arrivals: List[int] = []
+
+    def _stream_flush(self) -> None:
+        if self._stream_open_slot is None or not self._stream_open_arrivals:
+            return
+        self._pending.extend(self._stream_open_arrivals)
+        self._step_window(
+            self._stream_first_publish
+            + (self._stream_open_slot + 1) * self.config.window_s
+        )
+        self._stream_open_arrivals = []
+
+    def stream_feed(self, batch: Sequence[Task]) -> int:
+        """Append one publish-ordered arrival batch and dispatch every window
+        the watermark proves complete.  Returns the number of tasks appended.
+        """
+        if not self._streaming:
+            raise RuntimeError("call stream_begin() before stream_feed()")
+        batch = tuple(batch)
+        if not batch:
+            return 0
         window_s = self.config.window_s
-        first_publish: Optional[float] = None
-        watermark = float("-inf")  # highest publish time accepted so far
-        open_slot: Optional[int] = None
-        open_arrivals: List[int] = []
+        start_index = self.instance.task_count
+        self.instance.append_tasks(batch)
+        self._kernel.extend_tasks()
+        arrivals = [
+            start_index + offset
+            for offset, task in enumerate(batch)
+            if task.is_publishable
+        ]
+        if not arrivals:
+            return len(batch)
+        tasks = self.instance.tasks
+        arrivals.sort(key=lambda m: (tasks[m].publish_ts, m))
+        if self._stream_first_publish is None:
+            self._stream_first_publish = tasks[arrivals[0]].publish_ts
+        for m in arrivals:
+            publish_ts = tasks[m].publish_ts
+            if publish_ts < self._stream_watermark:
+                raise ValueError(
+                    "arrival batches must be publish-ordered: task "
+                    f"{tasks[m].task_id!r} publishes at {publish_ts} "
+                    f"behind the stream watermark {self._stream_watermark}"
+                )
+            self._stream_watermark = publish_ts
+            slot = _publish_slot(publish_ts, self._stream_first_publish, window_s)
+            if self._stream_open_slot is None:
+                self._stream_open_slot = slot
+            elif slot > self._stream_open_slot:
+                self._stream_flush()
+                self._stream_open_slot = slot
+            self._stream_open_arrivals.append(m)
+        return len(batch)
 
-        def flush() -> None:
-            if open_slot is None or not open_arrivals:
-                return
-            self._pending.extend(open_arrivals)
-            self._step_window(first_publish + (open_slot + 1) * window_s)
-            open_arrivals.clear()
-
-        for batch in arrival_batches:
-            batch = tuple(batch)
-            if not batch:
-                continue
-            start_index = self.instance.task_count
-            append(batch)
-            self._kernel.extend_tasks()
-            arrivals = [
-                start_index + offset
-                for offset, task in enumerate(batch)
-                if task.is_publishable
-            ]
-            if not arrivals:
-                continue
-            tasks = self.instance.tasks
-            arrivals.sort(key=lambda m: (tasks[m].publish_ts, m))
-            if first_publish is None:
-                first_publish = tasks[arrivals[0]].publish_ts
-            for m in arrivals:
-                publish_ts = tasks[m].publish_ts
-                if publish_ts < watermark:
-                    raise ValueError(
-                        "arrival batches must be publish-ordered: task "
-                        f"{tasks[m].task_id!r} publishes at {publish_ts} "
-                        f"behind the stream watermark {watermark}"
-                    )
-                watermark = publish_ts
-                slot = _publish_slot(publish_ts, first_publish, window_s)
-                if open_slot is None:
-                    open_slot = slot
-                elif slot > open_slot:
-                    flush()
-                    open_slot = slot
-                open_arrivals.append(m)
-        flush()
+    def stream_end(self) -> OnlineOutcome:
+        """Dispatch the final open window and settle every driver."""
+        if not self._streaming:
+            raise RuntimeError("call stream_begin() before stream_end()")
+        self._streaming = False
+        self._stream_flush()
         return self._finish()
 
     # ------------------------------------------------------------------

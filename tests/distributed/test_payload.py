@@ -4,14 +4,18 @@ import pickle
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.distributed import (
     ShardWorkRequest,
     SpatialPartitioner,
+    delta_from_tasks,
     instance_from_payload,
     payload_from_shard,
     solve_shard,
     solve_shard_payload,
+    tasks_from_delta,
 )
 from repro.geo import PORTO, GeoPoint
 from repro.market import Driver, MarketInstance, Task
@@ -64,6 +68,38 @@ class TestPayloadRoundTrip:
         # The payload ships primal arrays only; it must stay far below the
         # pickled object graph with its cached task maps.
         assert len(blob) < len(pickle.dumps(shard)) / 2
+
+
+class TestPayloadDelta:
+    """The streaming wire format: accumulated deltas == full-payload rebuild."""
+
+    def test_round_trip_is_value_identical(self, plan):
+        shard = max(plan.shards, key=lambda s: s.task_count)
+        delta = delta_from_tasks(shard.spec.shard_id, shard.instance.tasks)
+        assert tasks_from_delta(delta) == shard.instance.tasks
+        assert delta.task_count == shard.task_count
+
+    def test_delta_is_picklable(self, plan):
+        shard = max(plan.shards, key=lambda s: s.task_count)
+        delta = delta_from_tasks(shard.spec.shard_id, shard.instance.tasks)
+        restored = pickle.loads(pickle.dumps(delta))
+        assert tasks_from_delta(restored) == shard.instance.tasks
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(cuts=st.lists(st.integers(min_value=0, max_value=60), max_size=6))
+    def test_any_batch_split_rebuilds_the_full_payload(self, plan, cuts):
+        """Shipping a stream as per-batch deltas rebuilds exactly the task
+        tuple the one-shot full payload carries, for any batch boundaries."""
+        shard = max(plan.shards, key=lambda s: s.task_count)
+        tasks = shard.instance.tasks
+        boundaries = sorted({0, len(tasks), *(min(c, len(tasks)) for c in cuts)})
+        accumulated = []
+        for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+            delta = delta_from_tasks(shard.spec.shard_id, tasks[lo:hi])
+            accumulated.extend(tasks_from_delta(delta))
+        full = instance_from_payload(payload_from_shard(shard))
+        assert tuple(accumulated) == full.tasks
+        assert tuple(accumulated) == tasks
 
 
 class TestWorkerEntry:

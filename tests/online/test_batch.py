@@ -200,6 +200,37 @@ class TestStreamingConsumption:
         with pytest.raises(ValueError):
             window_batches(random_instance.tasks, 0.0)
 
+    def test_stream_schedule_carries_every_task(self, random_instance):
+        from repro.online.batch import stream_schedule
+
+        batches = stream_schedule(random_instance.tasks, 60.0)
+        flattened = [t for batch in batches for t in batch]
+        assert len(flattened) == random_instance.task_count
+        publishes = [t.publish_ts for t in flattened]
+        assert publishes == sorted(publishes)
+        # The publishable subsequence is exactly the dispatch schedule.
+        publishable = [t for t in flattened if t.is_publishable]
+        assert publishable == [
+            t for batch in window_batches(random_instance.tasks, 60.0) for t in batch
+        ]
+        with pytest.raises(ValueError):
+            stream_schedule(random_instance.tasks, 0.0)
+
+    def test_incremental_api_requires_stream_begin(self, random_instance):
+        stream_instance = StreamingMarketInstance(
+            random_instance.drivers, random_instance.cost_model
+        )
+        simulator = BatchedSimulator(stream_instance, BatchConfig(window_s=60.0))
+        with pytest.raises(RuntimeError):
+            simulator.stream_feed(list(random_instance.tasks))
+        with pytest.raises(RuntimeError):
+            simulator.stream_end()
+        simulator.stream_begin()
+        simulator.stream_feed(sorted(random_instance.tasks, key=lambda t: t.publish_ts))
+        simulator.stream_end()
+        with pytest.raises(RuntimeError):  # stream is over
+            simulator.stream_feed([])
+
 
 class TestBatchedVsPerOrder:
     def test_batching_competitive_with_max_margin(self, random_instance):

@@ -85,6 +85,74 @@ class TestBuildAndSolve:
         data = json.loads(output.read_text())
         assert data["algorithm"] == "greedy"
 
+    def test_solve_streamed_matches_replay(self, market_path, capsys):
+        """--stream on a 1x1 grid is the batched replay, bit for bit."""
+        assert main(["solve", "--market", str(market_path), "--algorithm", "batched"]) == 0
+        replay_out = capsys.readouterr().out
+        assert (
+            main(
+                ["solve", "--market", str(market_path), "--algorithm", "batched", "--stream"]
+            )
+            == 0
+        )
+        stream_out = capsys.readouterr().out
+        assert "streamed, serial executor" in stream_out
+        # The summaries share these metrics; the numbers must be identical.
+        shared = ("total_value", "total_revenue", "served_count", "serve_rate")
+
+        def metrics(text):
+            return {
+                line.split(":")[0]: line
+                for line in text.splitlines()
+                if line.split(":")[0] in shared
+            }
+
+        assert metrics(replay_out) == metrics(stream_out)
+
+    def test_solve_streamed_sharded_process(self, market_path, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "--market",
+                    str(market_path),
+                    "--algorithm",
+                    "batched",
+                    "--stream",
+                    "--executor",
+                    "process",
+                    "--grid",
+                    "2x2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "streamed, process executor" in out
+        assert "shards: 4 (2x2 grid)" in out
+        assert "total_value" in out
+
+    def test_stream_requires_batched(self, market_path):
+        with pytest.raises(SystemExit):
+            main(["solve", "--market", str(market_path), "--algorithm", "greedy", "--stream"])
+        with pytest.raises(SystemExit):
+            main(["solve", "--market", str(market_path), "--executor", "process"])
+        with pytest.raises(SystemExit):
+            main(["solve", "--market", str(market_path), "--grid", "2x2"])
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "solve",
+                    "--market",
+                    str(market_path),
+                    "--algorithm",
+                    "batched",
+                    "--stream",
+                    "--grid",
+                    "bogus",
+                ]
+            )
+
     def test_bound_command(self, market_path, capsys):
         assert main(["bound", "--market", str(market_path), "--kind", "lagrangian"]) == 0
         assert "upper bound" in capsys.readouterr().out
@@ -114,6 +182,35 @@ class TestBuildAndSolve:
 
 
 class TestExperimentCommand:
+    def test_executor_and_stream_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["experiment", "--figure", "ablations", "--executor", "process", "--stream"]
+        )
+        assert args.executor == "process"
+        assert args.stream is True
+        args = parser.parse_args(["experiment", "--no-stream"])
+        assert args.stream is False
+        assert args.executor == "serial"
+
+    def test_ablations_streamed_tiny(self, capsys):
+        assert (
+            main(
+                [
+                    "experiment",
+                    "--figure",
+                    "ablations",
+                    "--scale",
+                    "tiny",
+                    "--stream",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stream mode" in out
+        assert "unsharded batched stream" in out
+
     def test_fig3_4_tiny(self, capsys):
         assert main(["experiment", "--figure", "fig3-4", "--scale", "tiny"]) == 0
         out = capsys.readouterr().out
