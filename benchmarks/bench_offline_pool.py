@@ -1,0 +1,176 @@
+"""Offline solves on the persistent pool + load-aware pre-splitting.
+
+PR 3 built the :class:`~repro.distributed.pool.PersistentWorkerPool` for live
+streams; this benchmark measures what routing the *offline* path through it
+buys.  The workload is the re-solve-heavy one the pool was built to amortise
+— the same city solved repeatedly, as every figure sweep and ablation does —
+replayed two ways:
+
+* **fork** — ``DistributedCoordinator.solve()`` as before: every call forks
+  a fresh executor, pays worker startup, ships payloads, tears down;
+* **pool** — ``solve(pool=...)`` on one warm ``PersistentWorkerPool``:
+  startup is paid once (untimed), every timed solve reuses the live workers.
+
+Asserted, mirroring the streaming benchmarks' shape:
+
+* **parity is unconditional**: the pooled merge is bit-identical to the fork
+  path (assignments *and* profits), on any machine;
+* **the warm pool at least breaks even** on repeated solves with >= 2 usable
+  cores (on 1-core boxes the wall clock measures the scheduler, so the gate
+  is skipped — the JSON still records the observed ratio);
+* **load-aware pre-splitting helps**: a ``LoadAwarePartitioner`` seeded by
+  the first solve's per-shard load report must not worsen the max/mean shard
+  load of the blind grid that produced it.
+
+Numbers land in ``benchmarks/results/BENCH_offline_pool.json``; the ``smoke``
+test at the bottom is the CI gate (2 workers, small instance, timeout
+bounded, ``BENCH_offline_pool_smoke.json``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.distributed import (
+    DistributedCoordinator,
+    LoadAwarePartitioner,
+    PersistentWorkerPool,
+    RebalancePolicy,
+    ShardLoadReport,
+    SpatialPartitioner,
+)
+from repro.experiments import ExperimentConfig, ExperimentScale, build_workload
+from repro.trace import WorkingModel
+
+#: Re-solve workload for the scaling run: per-shard greedy time dominates
+#: the per-call executor startup being amortised.
+OFFLINE_SCALE = ExperimentScale(
+    task_count=1200,
+    driver_counts=(150,),
+    trips_generated=6000,
+)
+
+#: CI smoke instance: small enough for a tiny runner, big enough that the
+#: warm pool's saving (no per-solve fork) is measurable over 3 solves.
+SMOKE_SCALE = ExperimentScale(
+    task_count=600,
+    driver_counts=(80,),
+    trips_generated=3000,
+)
+
+#: Pre-split knobs for the load-aware comparison: permissive enough that the
+#: Gaussian downtown hotspot of the synthetic trace reliably triggers splits.
+PRESPLIT_POLICY = RebalancePolicy(hot_factor=1.3, cold_factor=0.25, min_split_tasks=16)
+
+ROUNDS = 3
+
+
+def _build_instance(scale: ExperimentScale):
+    config = ExperimentConfig(scale=scale, working_model=WorkingModel.HITCHHIKING)
+    workload = build_workload(config)
+    return config, workload.instance_with_drivers(scale.driver_counts[-1])
+
+
+def _fingerprint(result):
+    return (
+        result.solution.assignment(),
+        tuple((p.driver_id, p.task_indices, p.profit) for p in result.solution.plans),
+        result.report.total_value,
+        result.report.per_shard_values,
+    )
+
+
+def _run_comparison(config, instance, rows, cols, workers):
+    """Fork vs warm pool on one grid; returns the payload dict.
+
+    One untimed warm-up solve per path first (the pool's forks its workers —
+    the cost paid once per sweep; the fork path's levels first-run cache
+    effects), then ``ROUNDS`` timed solves of each, *interleaved* so slow
+    drift on shared runners hits both paths equally.  Every timed fork-path
+    call still pays its own executor startup and teardown — that is exactly
+    the overhead being amortised.
+    """
+    partitioner = SpatialPartitioner(config.bounding_box, rows, cols)
+    fork_coordinator = DistributedCoordinator(
+        partitioner, "greedy", executor="process", max_workers=workers
+    )
+    with PersistentWorkerPool(executor="process", worker_count=workers) as pool:
+        pool_coordinator = DistributedCoordinator(
+            partitioner, "greedy", executor="process", max_workers=workers
+        )
+        fork_result = fork_coordinator.solve(instance)
+        pool_coordinator.solve(instance, pool=pool)
+        fork_s = pool_s = 0.0
+        pool_result = None
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            fork_result = fork_coordinator.solve(instance)
+            fork_s += time.perf_counter() - start
+            start = time.perf_counter()
+            pool_result = pool_coordinator.solve(instance, pool=pool)
+            pool_s += time.perf_counter() - start
+
+    # Load-aware pre-splitting, seeded by the fork run's own load report.
+    before = ShardLoadReport.from_prior(fork_result)
+    refined = LoadAwarePartitioner(
+        config.bounding_box, fork_result, policy=PRESPLIT_POLICY
+    )
+    after = ShardLoadReport.from_prior(refined.partition(instance))
+
+    return {
+        "rounds": ROUNDS,
+        "wall_fork_s": fork_s,
+        "wall_pool_s": pool_s,
+        "warm_pool_speedup": fork_s / pool_s if pool_s > 0 else float("inf"),
+        "shard_count": fork_result.report.shard_count,
+        "worker_count": workers,
+        "task_count": instance.task_count,
+        "driver_count": instance.driver_count,
+        "total_value": fork_result.solution.total_value,
+        "served_count": fork_result.solution.served_count,
+        "cpu_count": os.cpu_count(),
+        "solution_parity": _fingerprint(pool_result) == _fingerprint(fork_result),
+        "load_balance": {
+            "max_over_mean_grid": before.max_over_mean,
+            "max_over_mean_presplit": after.max_over_mean,
+            "shard_count_grid": len(before.task_counts),
+            "shard_count_presplit": len(after.task_counts),
+        },
+    }
+
+
+@pytest.mark.benchmark(group="offline-pool")
+def test_offline_pool_repeated_solves(save_json):
+    """3x3 grid, 3 repeated solves: fork-per-call vs one warm 2-worker pool."""
+    config, instance = _build_instance(OFFLINE_SCALE)
+    payload = _run_comparison(config, instance, rows=3, cols=3, workers=2)
+    save_json("offline_pool", payload)
+
+    # Bit-identical pool == fork merge, unconditionally.
+    assert payload["solution_parity"]
+    # Pre-splitting must not worsen the balance of the grid that seeded it
+    # (deterministic, so asserted on every machine).
+    balance = payload["load_balance"]
+    assert balance["max_over_mean_presplit"] <= balance["max_over_mean_grid"]
+    assert balance["max_over_mean_grid"] > 1.0  # the grid really was skewed
+    if (os.cpu_count() or 1) >= 2:
+        # The acceptance gate proper: repeated solves on the warm pool must
+        # at least break even against fork-per-call.
+        assert payload["warm_pool_speedup"] >= 1.0
+
+
+@pytest.mark.benchmark(group="offline-pool")
+def test_offline_pool_smoke(save_json):
+    """CI smoke gate: 2 workers, small instance, parity + cpu-gated speedup."""
+    config, instance = _build_instance(SMOKE_SCALE)
+    payload = _run_comparison(config, instance, rows=2, cols=2, workers=2)
+    save_json("offline_pool_smoke", payload)
+
+    assert payload["solution_parity"]
+    balance = payload["load_balance"]
+    assert balance["max_over_mean_presplit"] <= balance["max_over_mean_grid"]
+    if (os.cpu_count() or 1) >= 2:
+        assert payload["warm_pool_speedup"] >= 1.0

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Docs gate: link/reference check over ``docs/`` + README, and execute the
+README quickstart snippet.
+
+Three checks, so the project's front door cannot rot:
+
+1. **Markdown links** — every relative link target in ``README.md`` and
+   ``docs/*.md`` must exist on disk (external ``http(s)`` links are left
+   alone: CI should not fail on someone else's outage).
+2. **Backticked path references** — prose like ``tests/distributed/...`` or
+   ``benchmarks/results/BENCH_*.json`` is treated as a reference when it
+   contains a ``/`` and looks like a repo path; the file (or, for globs, at
+   least one match) must exist.  Docs that name a test pinning a contract
+   stay honest this way.
+3. **Quickstart execution** — the first ``python`` code block in the README
+   is extracted and executed with ``src/`` on the path; the snippet every
+   new reader copy-pastes must actually run.
+
+Exit code 0 when everything holds, 1 with a per-finding report otherwise.
+Run from anywhere: ``python scripts/check_docs.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
+BACKTICK_REF = re.compile(r"`([^`\s]+)`")
+#: Path-looking backticked tokens: contain a slash and end in a known
+#: extension (or a trailing slash for directories).
+PATH_SUFFIXES = (".py", ".md", ".json", ".txt", ".yml", ".csv", "/")
+
+
+def check_links(path: Path, text: str) -> list[str]:
+    problems = []
+    for target in MARKDOWN_LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+    return problems
+
+
+def check_path_references(path: Path, text: str) -> list[str]:
+    problems = []
+    for token in BACKTICK_REF.findall(text):
+        if "/" not in token or not token.endswith(PATH_SUFFIXES):
+            continue
+        candidate = token.rstrip("/")
+        # Docs name library packages by their layer shorthand (`geo/`,
+        # `market/streaming.py`): resolve against src/repro/ too.
+        roots = (REPO_ROOT, REPO_ROOT / "src" / "repro")
+        if any(ch in candidate for ch in "*?["):
+            if not any(list(root.glob(candidate)) for root in roots):
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}: glob reference matches nothing -> {token}"
+                )
+        elif not any((root / candidate).exists() for root in roots):
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}: dangling path reference -> {token}"
+            )
+    return problems
+
+
+def extract_quickstart(readme_text: str) -> str | None:
+    match = re.search(r"```python\n(.*?)```", readme_text, flags=re.DOTALL)
+    return match.group(1) if match else None
+
+
+def run_quickstart(snippet: str) -> list[str]:
+    with tempfile.NamedTemporaryFile(
+        "w", suffix="_quickstart.py", delete=False, dir=REPO_ROOT
+    ) as handle:
+        handle.write(snippet)
+        script = Path(handle.name)
+    try:
+        src = str(REPO_ROOT / "src")
+        inherited = os.environ.get("PYTHONPATH")
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            cwd=REPO_ROOT,
+            env={
+                **os.environ,
+                "PYTHONPATH": f"{src}{os.pathsep}{inherited}" if inherited else src,
+            },
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+    finally:
+        script.unlink(missing_ok=True)
+    if proc.returncode != 0:
+        return [
+            "README quickstart snippet failed "
+            f"(exit {proc.returncode}):\n{proc.stdout}{proc.stderr}"
+        ]
+    return []
+
+
+def main() -> int:
+    problems: list[str] = []
+    for path in DOC_FILES:
+        text = path.read_text(encoding="utf-8")
+        problems += check_links(path, text)
+        problems += check_path_references(path, text)
+
+    readme_text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    snippet = extract_quickstart(readme_text)
+    if snippet is None:
+        problems.append("README.md has no ```python quickstart block to execute")
+    else:
+        problems += run_quickstart(snippet)
+
+    if problems:
+        print(f"docs check: {len(problems)} problem(s)", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    checked = ", ".join(str(p.relative_to(REPO_ROOT)) for p in DOC_FILES)
+    print(f"docs check OK ({checked}; quickstart executed)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

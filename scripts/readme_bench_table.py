@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Regenerate the README benchmark table from ``benchmarks/results/BENCH_*.json``.
+
+The README's performance table is *derived state*: every number in it comes
+from a committed benchmark artifact.  This script rebuilds the table between
+the ``<!-- bench-table:begin -->`` / ``<!-- bench-table:end -->`` markers in
+``README.md`` so the table cannot drift from the artifacts — regenerate the
+JSON (see ``docs/benchmarks.md``), rerun this script, commit both.
+
+Usage::
+
+    python scripts/readme_bench_table.py          # rewrite README.md in place
+    python scripts/readme_bench_table.py --check  # exit 1 if the table is stale
+
+``--check`` runs in CI next to the docs link check, so a PR that changes the
+artifacts without refreshing the README fails fast.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+RESULTS = REPO_ROOT / "benchmarks" / "results"
+BEGIN = "<!-- bench-table:begin -->"
+END = "<!-- bench-table:end -->"
+
+#: Artifacts folded into the single CI-gate row instead of getting their own.
+SMOKE_NAMES = (
+    "BENCH_distributed_smoke",
+    "BENCH_streaming_smoke",
+    "BENCH_offline_pool_smoke",
+)
+
+
+def _load(name: str) -> dict | None:
+    path = RESULTS / f"{name}.json"
+    if not path.is_file():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _parity(flag) -> str:
+    return "parity ✓" if flag else "parity ✗"
+
+
+def _row_distributed_scaling(d: dict) -> list[str]:
+    return [
+        "`BENCH_distributed_scaling.json` — offline process fan-out",
+        f"{d['task_count']} tasks, {d['driver_count']} drivers, "
+        f"{d['shard_count']} shards, {d['worker_count']} workers",
+        f"{_parity(d['solution_parity'])}, critical-path speedup "
+        f"**{d['critical_path_speedup']:.2f}×**, wall {d['wall_serial_s']:.2f}s "
+        f"serial → {d['wall_process_s']:.2f}s pooled",
+    ]
+
+
+def _row_streaming_append(d: dict) -> list[str]:
+    return [
+        "`BENCH_streaming_append.json` — incremental task maps",
+        f"{d['task_count']} tasks, {d['driver_count']} drivers, "
+        f"{d['batch_count']} batches",
+        f"stream cost **{d['streaming_over_rebuild']:.2f}×** of per-batch rebuild "
+        f"({d['streaming_total_s']:.2f}s vs {d['rebuild_total_s']:.2f}s), "
+        "bit-identical state",
+    ]
+
+
+def _row_streaming_shards(d: dict) -> list[str]:
+    runs = d.get("runs_by_workers", {})
+    widths = "/".join(sorted(runs, key=int))
+    best_cp = max(
+        (run["critical_path_speedup"] for run in runs.values()), default=0.0
+    )
+    return [
+        "`BENCH_streaming_shards.json` — live stream on the persistent pool",
+        f"{d['task_count']} tasks, {d['driver_count']} drivers, "
+        f"{d['shard_count']} shards, {d['batch_count']} windows",
+        f"{_parity(d['solution_parity'])} at {widths} workers, critical-path "
+        f"speedup **{best_cp:.1f}×**, serial stream {d['wall_serial_s']:.2f}s",
+    ]
+
+
+def _row_offline_pool(d: dict) -> list[str]:
+    balance = d["load_balance"]
+    return [
+        "`BENCH_offline_pool.json` — offline re-solves on the warm pool",
+        f"{d['task_count']} tasks, {d['driver_count']} drivers, "
+        f"{d['shard_count']} shards, {d['rounds']}× re-solve",
+        f"{_parity(d['solution_parity'])} (pool == fork), warm-pool speedup "
+        f"**{d['warm_pool_speedup']:.2f}×**, max/mean shard load "
+        f"{balance['max_over_mean_grid']:.2f} → "
+        f"**{balance['max_over_mean_presplit']:.2f}** after load-aware pre-split",
+    ]
+
+
+def _row_smokes(artifacts: dict[str, dict]) -> list[str] | None:
+    present = [name for name in SMOKE_NAMES if name in artifacts]
+    if not present:
+        return None
+    tasks = [artifacts[name]["task_count"] for name in present]
+    all_parity = all(artifacts[name]["solution_parity"] for name in present)
+    label = " / ".join(f"`{name}.json`" for name in present)
+    return [
+        f"{label} — CI gates",
+        f"{min(tasks)}–{max(tasks)} tasks, 2 workers",
+        f"{_parity(all_parity)}; speedup ≥ 1 enforced on ≥ 2-core runners",
+    ]
+
+
+ROW_BUILDERS = {
+    "BENCH_distributed_scaling": _row_distributed_scaling,
+    "BENCH_streaming_append": _row_streaming_append,
+    "BENCH_streaming_shards": _row_streaming_shards,
+    "BENCH_offline_pool": _row_offline_pool,
+}
+
+
+def build_table() -> str:
+    artifacts = {
+        path.stem: json.loads(path.read_text(encoding="utf-8"))
+        for path in sorted(RESULTS.glob("BENCH_*.json"))
+    }
+    rows: list[list[str]] = []
+    for name, builder in ROW_BUILDERS.items():
+        if name in artifacts:
+            rows.append(builder(artifacts[name]))
+    unknown = [
+        name
+        for name in artifacts
+        if name not in ROW_BUILDERS and name not in SMOKE_NAMES
+    ]
+    for name in unknown:
+        d = artifacts[name]
+        workload = ", ".join(
+            f"{d[key]} {key.removesuffix('_count')}s"
+            for key in ("task_count", "driver_count")
+            if key in d
+        )
+        rows.append([f"`{name}.json`", workload or "—", "see the artifact"])
+    smoke_row = _row_smokes(artifacts)
+    if smoke_row:
+        rows.append(smoke_row)
+
+    cpu_counts = sorted({d.get("cpu_count") for d in artifacts.values() if d.get("cpu_count")})
+    cpu_note = "/".join(str(c) for c in cpu_counts) or "?"
+    lines = [
+        f"| benchmark (source JSON) | workload | key numbers ({cpu_note}-core container) |",
+        "|---|---|---|",
+    ]
+    lines += ["| " + " | ".join(cells) + " |" for cells in rows]
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    check = "--check" in argv
+    text = README.read_text(encoding="utf-8")
+    try:
+        head, rest = text.split(BEGIN, 1)
+        _stale, tail = rest.split(END, 1)
+    except ValueError:
+        print(
+            f"error: {README} is missing the {BEGIN} / {END} markers",
+            file=sys.stderr,
+        )
+        return 2
+    rebuilt = f"{head}{BEGIN}\n{build_table()}\n{END}{tail}"
+    if rebuilt == text:
+        print("README benchmark table is up to date")
+        return 0
+    if check:
+        print(
+            "README benchmark table is stale: run "
+            "`python scripts/readme_bench_table.py` and commit the result",
+            file=sys.stderr,
+        )
+        return 1
+    README.write_text(rebuilt, encoding="utf-8")
+    print("README benchmark table regenerated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

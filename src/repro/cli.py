@@ -28,7 +28,7 @@ import sys
 from typing import Optional, Sequence
 
 from .analysis import BoundKind, compute_upper_bound, format_metric_dict, format_table
-from .distributed import EXECUTOR_POLICIES
+from .distributed import EXECUTOR_POLICIES, PersistentWorkerPool
 from .experiments import (
     DEFAULT_SCALE,
     PAPER_SCALE,
@@ -275,11 +275,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
     config = ExperimentConfig(scale=scale)
     if args.figure == "all":
-        print(
-            run_everything(
-                scale=scale, partition_executor=args.executor, stream=args.stream
-            ).render()
-        )
+        # One warm worker pool for every distributed solve in the run: the
+        # partitioning ablation's whole grid sweep reuses the same forked
+        # workers instead of paying executor startup per grid point.
+        with PersistentWorkerPool(executor=args.executor) as pool:
+            print(
+                run_everything(
+                    scale=scale,
+                    partition_executor=args.executor,
+                    stream=args.stream,
+                    pool=pool,
+                ).render()
+            )
         return 0
     if args.figure == "fig3-4":
         print(run_distribution_experiment(config).render())
@@ -293,11 +300,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.figure == "ablations":
         print(run_surge_ablation(config=config).render())
         print()
-        print(
-            run_partition_ablation(
-                config=config, executor=args.executor, stream=args.stream
-            ).render()
-        )
+        with PersistentWorkerPool(executor=args.executor) as pool:
+            print(
+                run_partition_ablation(
+                    config=config, executor=args.executor, stream=args.stream, pool=pool
+                ).render()
+            )
         return 0
     raise AssertionError(f"unhandled figure choice {args.figure!r}")
 

@@ -79,6 +79,20 @@ policies.  The optional skew-aware rebalance (split the hottest shard, merge
 cold ones between windows) deliberately trades that fixed partition for load
 balance; its own contract is determinism: a rebalanced stream is bit-identical
 to a from-start stream over the final (post-rebalance) regions.
+
+Offline solves on the same pool
+-------------------------------
+
+The pool is not streaming-only: :meth:`DistributedCoordinator.solve` accepts
+``pool=`` (or ``reuse_pool=True``) and dispatches its per-shard
+``ShardWorkRequest``s onto the same slot executors instead of forking a fresh
+``ProcessPoolExecutor`` per call.  Re-solve-heavy offline workloads — the
+partitioning ablation, figure sweeps, repeated what-if solves — pay worker
+startup once per pool instead of once per solve, with a bit-identical merge
+(pool == fork, under every executor policy).  Pair it with a
+:class:`~repro.distributed.partition.LoadAwarePartitioner` to feed one
+solve's per-shard load report (``CoordinatorReport.per_shard_task_counts`` /
+``DistributedStreamResult.regions``) back into the next solve's partition.
 """
 
 from __future__ import annotations
@@ -111,8 +125,10 @@ from .messages import (
 from .partition import (
     MarketShard,
     PartitionPlan,
+    RebalancePolicy,
     SpatialPartitioner,
     ZonePartition,
+    plan_rebalance_action,
     translate_assignment,
 )
 from .payload import ShardPayload, delta_from_tasks, instance_from_payload, payload_from_shard
@@ -232,39 +248,6 @@ class DistributedResult:
     solution: MarketSolution
     report: CoordinatorReport
     plan: PartitionPlan
-
-
-@dataclass(frozen=True, slots=True)
-class RebalancePolicy:
-    """Skew-aware shard rebalance knobs for the streaming path.
-
-    Checked every ``check_every_batches`` arrival batches.  If the hottest
-    shard holds at least ``hot_factor`` times the mean task load (and at
-    least ``min_split_tasks`` tasks), it is split — one box shard into its
-    two halves along the longer axis.  Otherwise, if the two coldest shards
-    are both under ``cold_factor`` times the mean, they are merged into one
-    multi-box shard.  Splitting lifts the ``total/slowest`` critical-path cap
-    toward the shard count; merging stops starving workers on empty districts.
-
-    Rebalancing is deterministic but *replaces* the fixed partition, so it
-    forfeits parity with the original grid; instead the contract is that the
-    rebalanced stream is bit-identical to a from-start stream over the final
-    regions (``DistributedStreamResult.regions``).
-    """
-
-    check_every_batches: int = 4
-    hot_factor: float = 2.0
-    cold_factor: float = 0.2
-    min_split_tasks: int = 64
-    max_shards: Optional[int] = None
-
-    def __post_init__(self) -> None:
-        if self.check_every_batches < 1:
-            raise ValueError("check_every_batches must be >= 1")
-        if self.hot_factor <= 1.0:
-            raise ValueError("hot_factor must be > 1")
-        if self.cold_factor < 0.0:
-            raise ValueError("cold_factor must be >= 0")
 
 
 @dataclass
@@ -467,28 +450,19 @@ class DistributedStreamSession:
         policy = self._rebalance
         if policy is None or self.batch_count % policy.check_every_batches != 0:
             return
-        counts = self.shard_task_counts
-        total = sum(counts)
-        if total == 0 or len(counts) == 0:
+        action = plan_rebalance_action(self.shard_task_counts, policy)
+        if action is None:
             return
-        mean = total / len(counts)
-        hot = max(range(len(counts)), key=lambda i: (counts[i], -i))
-        can_split = policy.max_shards is None or len(counts) < policy.max_shards
-        if (
-            can_split
-            and counts[hot] >= policy.hot_factor * mean
-            and counts[hot] >= policy.min_split_tasks
-        ):
+        if action.kind == "split":
+            hot = action.positions[0]
             self._reshard([hot], list(self._router.split_group(hot)))
-            self._rebalances += 1
-            return
-        if len(counts) < 2:
-            return
-        cold = sorted(range(len(counts)), key=lambda i: (counts[i], i))[:2]
-        if all(counts[i] <= policy.cold_factor * mean for i in cold):
-            merged = self._shards[cold[0]].boxes + self._shards[cold[1]].boxes
-            self._reshard(sorted(cold), [merged])
-            self._rebalances += 1
+        else:
+            # positions come coldest-first; boxes concatenate in that order.
+            merged = tuple(
+                box for position in action.positions for box in self._shards[position].boxes
+            )
+            self._reshard(sorted(action.positions), [merged])
+        self._rebalances += 1
 
     def _reshard(
         self,
@@ -706,7 +680,8 @@ class DistributedCoordinator:
     # ------------------------------------------------------------------
     def stream_pool(self) -> PersistentWorkerPool:
         """The coordinator's persistent worker pool (created lazily, kept
-        alive across streams so re-solves and sweeps amortise its startup)."""
+        alive across streams *and* pooled offline solves, so re-solves and
+        sweeps amortise its startup)."""
         if self._stream_pool is None or self._stream_pool.executor != self.executor:
             if self._stream_pool is not None:
                 self._stream_pool.close()
@@ -735,15 +710,25 @@ class DistributedCoordinator:
         config: Optional[BatchConfig] = None,
         regions: Optional[Sequence[Sequence[BoundingBox]]] = None,
         rebalance: Optional[RebalancePolicy] = None,
+        pool: Optional[PersistentWorkerPool] = None,
     ) -> DistributedStreamSession:
         """Open a live stream: per-shard streaming sessions on the pool.
 
-        Drivers are routed to shards by source over the partitioner's grid
-        (or the explicit ``regions``, e.g. a previous stream's post-rebalance
-        :attr:`DistributedStreamResult.regions`).  Feed publish-ordered
+        Drivers are routed to shards by source over the partitioner's
+        regions (its ``box_groups`` when it exposes them — e.g. a
+        ``LoadAwarePartitioner`` — else its uniform grid), or the explicit
+        ``regions``, e.g. a previous stream's post-rebalance
+        :attr:`DistributedStreamResult.regions`.  Feed publish-ordered
         arrival batches with ``append_batch`` and merge with ``finish``.
+
+        ``pool`` overrides the coordinator's own :meth:`stream_pool` with an
+        externally owned :class:`PersistentWorkerPool` — the caller keeps
+        ownership (the coordinator's ``close()`` never touches it), which is
+        how one warm pool is shared across many coordinators in a sweep.
         """
         region = self.partitioner.region
+        if regions is None:
+            regions = getattr(self.partitioner, "box_groups", None)
         if regions is None:
             router = ZonePartition.from_grid(
                 region, self.partitioner.rows, self.partitioner.cols
@@ -754,7 +739,7 @@ class DistributedCoordinator:
             fleet=drivers,
             cost_model=cost_model or MarketCostModel(),
             config=config or BatchConfig(),
-            pool=self.stream_pool(),
+            pool=pool if pool is not None else self.stream_pool(),
             router=router,
             rebalance=rebalance,
         )
@@ -767,6 +752,7 @@ class DistributedCoordinator:
         config: Optional[BatchConfig] = None,
         regions: Optional[Sequence[Sequence[BoundingBox]]] = None,
         rebalance: Optional[RebalancePolicy] = None,
+        pool: Optional[PersistentWorkerPool] = None,
     ) -> DistributedStreamResult:
         """Stream ``instance``'s orders through the sharded pool and merge.
 
@@ -788,14 +774,45 @@ class DistributedCoordinator:
             config=chosen_config,
             regions=regions,
             rebalance=rebalance,
+            pool=pool,
         )
         for batch in arrival_batches:
             session.append_batch(batch)
         return session.finish()
 
-    def solve(self, instance: MarketInstance) -> DistributedResult:
-        """Solve ``instance`` shard by shard and merge the results."""
+    def solve(
+        self,
+        instance: MarketInstance,
+        *,
+        pool: Optional[PersistentWorkerPool] = None,
+        reuse_pool: bool = False,
+    ) -> DistributedResult:
+        """Solve ``instance`` shard by shard and merge the results.
+
+        By default every call forks its own short-lived executor (the PR 2
+        behaviour).  Two reuse modes route the shard requests onto persistent
+        slot executors instead, so repeated offline solves — figure sweeps,
+        ablations — stop paying worker startup per call:
+
+        ``pool=``
+            An externally owned :class:`PersistentWorkerPool`.  Shards are
+            dispatched round-robin onto its slots (the process policy ships
+            the same array-backed payloads the fork path ships); the caller
+            keeps ownership and ``close()``s it after the whole sweep.
+        ``reuse_pool=True``
+            Shorthand for ``pool=self.stream_pool()``: the coordinator's own
+            lazily created pool, shared with the streaming path and kept
+            warm until :meth:`close`.
+
+        **Parity contract (pool == fork):** pooled dispatch runs the exact
+        :func:`solve_shard` / :func:`solve_shard_payload` worker entries on
+        the same per-shard requests and merges in the same shard order, so
+        the merged solution is bit-identical to the fork path under every
+        executor policy (pinned by ``tests/distributed/test_offline_pool.py``).
+        """
         start = time.perf_counter()
+        if reuse_pool and pool is None:
+            pool = self.stream_pool()
         plan = self.partitioner.partition(instance)
         requests = [
             ShardWorkRequest(
@@ -819,8 +836,15 @@ class DistributedCoordinator:
             else:
                 live.append(position)
 
-        worker_count = self._resolve_worker_count(len(live))
-        for position, result in zip(live, self._solve_live(plan, requests, live, worker_count)):
+        if pool is not None:
+            worker_count = max(1, min(pool.worker_count, len(live))) if live else 1
+            executor_label = pool.executor
+        else:
+            worker_count = self._resolve_worker_count(len(live))
+            executor_label = self.executor
+        for position, result in zip(
+            live, self._solve_live(plan, requests, live, worker_count, pool)
+        ):
             results[position] = result
         solved = [result for result in results if result is not None]
 
@@ -841,9 +865,10 @@ class DistributedCoordinator:
             slowest_shard_s=max(durations) if durations else 0.0,
             per_shard_values=tuple(r.total_value for r in solved),
             per_shard_durations=durations,
-            executor=self.executor,
+            executor=executor_label,
             worker_count=worker_count,
             empty_shard_count=len(plan.shards) - len(live),
+            per_shard_task_counts=tuple(shard.task_count for shard in plan.shards),
         )
         return DistributedResult(solution=solution, report=report, plan=plan)
 
@@ -869,23 +894,40 @@ class DistributedCoordinator:
         requests: List[ShardWorkRequest],
         live: List[int],
         worker_count: int,
+        pool: Optional[PersistentWorkerPool] = None,
     ) -> List[ShardWorkResult]:
         """Solve the non-degenerate shards under the configured policy,
         returning results in ``live`` order.
 
-        The pools are created with the already-resolved ``worker_count``, so
-        the width the report claims is the width that actually ran.
+        With a persistent ``pool``, shard requests go round-robin onto its
+        (already warm) slot executors and the pool's own policy decides the
+        wire format — the process policy ships payloads, exactly like the
+        fork path.  Without one, short-lived pools are created with the
+        already-resolved ``worker_count``, so the width the report claims is
+        the width that actually ran.
         """
         shards = [plan.shards[position] for position in live]
         reqs = [requests[position] for position in live]
+        if pool is not None:
+            if pool.executor == "process":
+                futures = [
+                    pool.submit(slot, solve_shard_payload, payload_from_shard(shard), req)
+                    for slot, (shard, req) in enumerate(zip(shards, reqs))
+                ]
+            else:
+                futures = [
+                    pool.submit(slot, solve_shard, shard, req)
+                    for slot, (shard, req) in enumerate(zip(shards, reqs))
+                ]
+            return [future.result() for future in futures]
         if self.executor == "serial" or len(live) <= 1:
             return [solve_shard(shard, req) for shard, req in zip(shards, reqs)]
         if self.executor == "thread":
-            with ThreadPoolExecutor(max_workers=worker_count) as pool:
-                return list(pool.map(solve_shard, shards, reqs))
+            with ThreadPoolExecutor(max_workers=worker_count) as pool_:
+                return list(pool_.map(solve_shard, shards, reqs))
         payloads = [payload_from_shard(shard) for shard in shards]
-        with ProcessPoolExecutor(max_workers=worker_count) as pool:
-            return list(pool.map(solve_shard_payload, payloads, reqs))
+        with ProcessPoolExecutor(max_workers=worker_count) as pool_:
+            return list(pool_.map(solve_shard_payload, payloads, reqs))
 
     # ------------------------------------------------------------------
     # merge

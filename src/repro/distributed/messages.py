@@ -76,6 +76,12 @@ class CoordinatorReport:
     #: How many shards were degenerate (no tasks or no drivers) and were
     #: short-circuited by the coordinator without ever reaching a worker.
     empty_shard_count: int = 0
+    #: Task load per shard, in shard order — the raw routed count, so a
+    #: degenerate shard (e.g. tasks but no drivers) still reports its real
+    #: load.  This is the offline half of the load round trip: feed it —
+    #: via ``ShardLoadReport.from_prior`` — into a ``LoadAwarePartitioner``
+    #: to pre-split the zones this solve proved hot before the next solve.
+    per_shard_task_counts: Tuple[int, ...] = ()
 
 
 @dataclass(frozen=True, slots=True)

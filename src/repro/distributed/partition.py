@@ -12,12 +12,24 @@ quality is sacrificed for the speed-up as the shard count grows.
 Tasks are routed to the shard containing their pickup point; drivers are
 routed to the shard containing their source.  Shards therefore have disjoint
 task sets, so merging shard solutions can never assign a task twice.
+
+Two partitioners produce the shards:
+
+* :class:`SpatialPartitioner` — a blind, uniform ``rows x cols`` grid.  The
+  right default when nothing is known about the demand.
+* :class:`LoadAwarePartitioner` — seeded by a *prior* solve's per-shard load
+  report (:class:`ShardLoadReport`), it pre-splits the zones a previous day
+  proved hot and pre-merges the ones that proved cold, using exactly the
+  split/merge decision rule (:func:`plan_rebalance_action` under a
+  :class:`RebalancePolicy`) the streaming coordinator applies between
+  windows.  Demand is sticky across re-solves — downtown stays downtown —
+  so yesterday's skew is a good predictor of today's load balance.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,15 +37,23 @@ from ..geo import BoundingBox, GeoPoint
 from ..geo.batch import coord_array
 from ..market.driver import Driver
 from ..market.instance import MarketInstance
-from ..market.task import Task
 
 
 @dataclass(frozen=True, slots=True)
 class ShardSpec:
-    """Identity and extent of one shard."""
+    """Identity and extent of one shard.
+
+    ``region`` is a single representative box (for a multi-box shard, the
+    hull of its boxes — reports and area accounting only).  ``boxes`` is
+    the shard's exact box group when it has one beyond the region itself
+    (merged shards from a :class:`LoadAwarePartitioner`); routing and load
+    round trips must use ``boxes or (region,)``, never the hull, because a
+    hull can overlap other shards' territory.
+    """
 
     shard_id: int
     region: BoundingBox
+    boxes: Tuple[BoundingBox, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -48,10 +68,12 @@ class MarketShard:
 
     @property
     def task_count(self) -> int:
+        """Number of tasks routed into this shard (its per-solve load)."""
         return self.instance.task_count
 
     @property
     def driver_count(self) -> int:
+        """Number of drivers whose source falls inside this shard."""
         return self.instance.driver_count
 
 
@@ -66,6 +88,7 @@ class PartitionPlan:
 
     @property
     def shard_count(self) -> int:
+        """How many shards the plan produced (including degenerate ones)."""
         return len(self.shards)
 
     def shard_of_task(self, global_task_index: int) -> int:
@@ -74,6 +97,44 @@ class PartitionPlan:
             if global_task_index in shard.global_task_indices:
                 return shard.spec.shard_id
         raise KeyError(f"task {global_task_index} is not assigned to any shard")
+
+
+def _plan_from_routing(
+    instance: MarketInstance,
+    specs: Sequence[ShardSpec],
+    task_owner: np.ndarray,
+    driver_owner: np.ndarray,
+) -> PartitionPlan:
+    """Assemble a :class:`PartitionPlan` from per-task / per-driver owner
+    indices (the shard-building contract shared by every partitioner:
+    disjoint task sets, drivers kept in fleet order, one sub-instance per
+    spec)."""
+    task_buckets: Dict[int, List[int]] = {spec.shard_id: [] for spec in specs}
+    for index, owner in enumerate(task_owner):
+        task_buckets[int(owner)].append(index)
+
+    driver_buckets: Dict[int, List[Driver]] = {spec.shard_id: [] for spec in specs}
+    for driver, owner in zip(instance.drivers, driver_owner):
+        driver_buckets[int(owner)].append(driver)
+
+    shards: List[MarketShard] = []
+    for spec in specs:
+        task_indices = task_buckets[spec.shard_id]
+        drivers = driver_buckets[spec.shard_id]
+        sub_instance = MarketInstance(
+            drivers=tuple(drivers),
+            tasks=tuple(instance.tasks[i] for i in task_indices),
+            cost_model=instance.cost_model,
+        )
+        shards.append(
+            MarketShard(
+                spec=spec,
+                instance=sub_instance,
+                global_task_indices=tuple(task_indices),
+                global_driver_ids=tuple(d.driver_id for d in drivers),
+            )
+        )
+    return PartitionPlan(shards=tuple(shards), unassigned_tasks=())
 
 
 class SpatialPartitioner:
@@ -88,6 +149,7 @@ class SpatialPartitioner:
 
     @property
     def shard_count(self) -> int:
+        """Number of grid cells (= shards) the partitioner produces."""
         return self.rows * self.cols
 
     def shard_index(self, point: GeoPoint) -> int:
@@ -108,39 +170,16 @@ class SpatialPartitioner:
     def partition(self, instance: MarketInstance) -> PartitionPlan:
         """Split ``instance`` into shards."""
         regions = self.region.split(self.rows, self.cols)
-
-        task_buckets: Dict[int, List[int]] = {i: [] for i in range(self.shard_count)}
-        for index, shard_id in enumerate(
-            self.shard_indices(task.source for task in instance.tasks)
-        ):
-            task_buckets[int(shard_id)].append(index)
-
-        driver_buckets: Dict[int, List[Driver]] = {i: [] for i in range(self.shard_count)}
-        for driver, shard_id in zip(
-            instance.drivers,
+        specs = [
+            ShardSpec(shard_id=shard_id, region=regions[shard_id])
+            for shard_id in range(self.shard_count)
+        ]
+        return _plan_from_routing(
+            instance,
+            specs,
+            self.shard_indices(task.source for task in instance.tasks),
             self.shard_indices(driver.source for driver in instance.drivers),
-        ):
-            driver_buckets[int(shard_id)].append(driver)
-
-        shards: List[MarketShard] = []
-        for shard_id in range(self.shard_count):
-            task_indices = task_buckets[shard_id]
-            drivers = driver_buckets[shard_id]
-            tasks: List[Task] = [instance.tasks[i] for i in task_indices]
-            sub_instance = MarketInstance(
-                drivers=tuple(drivers),
-                tasks=tuple(tasks),
-                cost_model=instance.cost_model,
-            )
-            shards.append(
-                MarketShard(
-                    spec=ShardSpec(shard_id=shard_id, region=regions[shard_id]),
-                    instance=sub_instance,
-                    global_task_indices=tuple(task_indices),
-                    global_driver_ids=tuple(d.driver_id for d in drivers),
-                )
-            )
-        return PartitionPlan(shards=tuple(shards), unassigned_tasks=())
+        )
 
 
 class ZonePartition:
@@ -180,6 +219,7 @@ class ZonePartition:
 
     @property
     def shard_count(self) -> int:
+        """Number of shards (box groups) the partition routes over."""
         return len(self.box_groups)
 
     def _box_mask(
@@ -192,7 +232,16 @@ class ZonePartition:
         return (lats >= box.south) & lat_hi & (lons >= box.west) & lon_hi
 
     def route(self, points: Iterable[GeoPoint]) -> np.ndarray:
-        """The shard index of every point (clamped into the region first)."""
+        """The shard index of every point (clamped into the region first).
+
+        Containment convention: a point belongs to a box when
+        ``south <= lat < north`` and ``west <= lon < east`` — half-open on
+        the north/east edges — *except* on the outer region's own north/east
+        boundary, where the comparison closes (``<=``) so clamped points on
+        the region's edge are still owned.  As long as the box groups tile
+        the region, every point therefore lands in exactly one box and the
+        result is independent of the order of the groups.
+        """
         coords = coord_array(list(points))
         if coords.shape[0] == 0:
             return np.empty(0, dtype=np.intp)
@@ -222,21 +271,31 @@ class ZonePartition:
     def split_group(self, shard_index: int) -> Tuple[
         Tuple[BoundingBox, ...], Tuple[BoundingBox, ...]
     ]:
-        """The two box groups a split of ``shard_index`` would produce.
+        """The two box groups a split of ``shard_index`` would produce
+        (see :func:`split_box_group`)."""
+        return split_box_group(self.box_groups[shard_index])
 
-        A single-box shard splits its box in half along the longer axis; a
-        multi-box shard (a previous merge) splits its box list in half.
-        """
-        group = self.box_groups[shard_index]
-        if len(group) > 1:
-            half = len(group) // 2
-            return group[:half], group[half:]
-        box = group[0]
-        if box.height_km() >= box.width_km():
-            first, second = box.split(2, 1)
-        else:
-            first, second = box.split(1, 2)
-        return (first,), (second,)
+
+def split_box_group(
+    group: Sequence[BoundingBox],
+) -> Tuple[Tuple[BoundingBox, ...], Tuple[BoundingBox, ...]]:
+    """The two box groups a split of ``group`` would produce.
+
+    A single-box shard splits its box in half along the longer axis; a
+    multi-box shard (a previous merge) splits its box list in half.  Shared
+    by the streaming rebalancer (via :meth:`ZonePartition.split_group`) and
+    the offline :class:`LoadAwarePartitioner`.
+    """
+    group = tuple(group)
+    if len(group) > 1:
+        half = len(group) // 2
+        return group[:half], group[half:]
+    box = group[0]
+    if box.height_km() >= box.width_km():
+        first, second = box.split(2, 1)
+    else:
+        first, second = box.split(1, 2)
+    return (first,), (second,)
 
 
 def translate_assignment(
@@ -248,3 +307,273 @@ def translate_assignment(
     for driver_id, path in local_assignment.items():
         translated[driver_id] = tuple(shard.global_task_indices[m] for m in path)
     return translated
+
+
+# ----------------------------------------------------------------------
+# skew-aware split/merge machinery
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class RebalancePolicy:
+    """Skew-aware shard split/merge knobs.
+
+    The *streaming* coordinator consults the policy every
+    ``check_every_batches`` arrival batches; the *offline*
+    :class:`LoadAwarePartitioner` applies the same rule iteratively to a
+    prior solve's load report before a solve.  In both cases the decision
+    (:func:`plan_rebalance_action`) is: if the hottest shard holds at least
+    ``hot_factor`` times the mean task load (and at least
+    ``min_split_tasks`` tasks), split it — one box shard into its two halves
+    along the longer axis, a multi-box shard into its two half lists.
+    Otherwise, if the two coldest shards are both under ``cold_factor``
+    times the mean, merge them into one multi-box shard.  Splitting lifts
+    the ``total/slowest`` critical-path cap toward the shard count; merging
+    stops starving workers on empty districts.
+
+    Rebalancing is deterministic but *replaces* the fixed partition, so it
+    forfeits parity with the original grid; instead the streaming contract is
+    that the rebalanced stream is bit-identical to a from-start stream over
+    the final regions (``DistributedStreamResult.regions``), and the offline
+    contract is that the refined partition is a pure function of the prior
+    load report.
+    """
+
+    check_every_batches: int = 4
+    hot_factor: float = 2.0
+    cold_factor: float = 0.2
+    min_split_tasks: int = 64
+    max_shards: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.check_every_batches < 1:
+            raise ValueError("check_every_batches must be >= 1")
+        if self.hot_factor <= 1.0:
+            raise ValueError("hot_factor must be > 1")
+        if self.cold_factor < 0.0:
+            raise ValueError("cold_factor must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class RebalanceAction:
+    """One split/merge decision produced by :func:`plan_rebalance_action`.
+
+    ``kind`` is ``"split"`` (positions holds the single hot shard) or
+    ``"merge"`` (positions holds the two cold shards, coldest first — callers
+    concatenate their boxes in that order so the replayed partition is
+    reproducible).
+    """
+
+    kind: str
+    positions: Tuple[int, ...]
+
+
+def plan_rebalance_action(
+    counts: Sequence[float], policy: RebalancePolicy
+) -> Optional[RebalanceAction]:
+    """Decide the next split/merge over per-shard task loads, or ``None``.
+
+    This is the single decision rule shared by the streaming rebalancer and
+    the offline :class:`LoadAwarePartitioner`: deterministic (ties broken by
+    shard position — lowest position wins for the hot shard, coldest-first
+    ordering for the merge pair) and purely a function of ``counts`` and the
+    policy, which is what makes both the rebalanced stream and the pre-split
+    offline partition reproducible.
+    """
+    total = sum(counts)
+    if total == 0 or len(counts) == 0:
+        return None
+    mean = total / len(counts)
+    hot = max(range(len(counts)), key=lambda i: (counts[i], -i))
+    can_split = policy.max_shards is None or len(counts) < policy.max_shards
+    if (
+        can_split
+        and counts[hot] >= policy.hot_factor * mean
+        and counts[hot] >= policy.min_split_tasks
+    ):
+        return RebalanceAction(kind="split", positions=(hot,))
+    if len(counts) < 2:
+        return None
+    cold = sorted(range(len(counts)), key=lambda i: (counts[i], i))[:2]
+    if all(counts[i] <= policy.cold_factor * mean for i in cold):
+        return RebalanceAction(kind="merge", positions=tuple(cold))
+    return None
+
+
+def hull_of_boxes(boxes: Sequence[BoundingBox]) -> BoundingBox:
+    """The tightest single box containing every box in ``boxes``.
+
+    Used to give a merged multi-box shard a representative
+    :attr:`ShardSpec.region` (reports and area accounting only — routing
+    always uses the exact box group, never the hull).
+    """
+    if not boxes:
+        raise ValueError("need at least one box")
+    return BoundingBox(
+        south=min(box.south for box in boxes),
+        west=min(box.west for box in boxes),
+        north=max(box.north for box in boxes),
+        east=max(box.east for box in boxes),
+    )
+
+
+# ----------------------------------------------------------------------
+# load-aware partitioning (offline path)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardLoadReport:
+    """Per-shard regions + task loads observed by a prior solve.
+
+    The exchange format between one solve and the next partitioning
+    decision: ``regions[i]`` is shard ``i``'s box group and
+    ``task_counts[i]`` how many tasks it owned.  Build one with
+    :meth:`from_prior` from either an offline
+    :class:`~repro.distributed.coordinator.DistributedResult` (single-box
+    grid shards) or a streamed
+    :class:`~repro.distributed.coordinator.DistributedStreamResult` (whose
+    possibly rebalanced ``regions`` already round-trip).
+    """
+
+    regions: Tuple[Tuple[BoundingBox, ...], ...]
+    task_counts: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.regions) != len(self.task_counts):
+            raise ValueError("regions and task_counts must align shard-for-shard")
+        if not self.regions:
+            raise ValueError("a load report needs at least one shard")
+
+    @classmethod
+    def from_prior(cls, prior) -> "ShardLoadReport":
+        """Extract the report from a prior solve's result (duck-typed).
+
+        Accepts a :class:`ShardLoadReport` (returned as-is), an offline
+        ``DistributedResult`` or bare :class:`PartitionPlan` (regions come
+        from the shard specs) or a streamed ``DistributedStreamResult``
+        (regions come from the post-rebalance ``regions`` round trip).
+        """
+        if isinstance(prior, ShardLoadReport):
+            return prior
+        plan = getattr(prior, "plan", None) or (
+            prior if isinstance(prior, PartitionPlan) else None
+        )
+        if plan is not None:
+            # A merged shard's spec.region is only the hull of its boxes —
+            # round-trip the exact box group so refined partitions survive
+            # another report/refine cycle without overlapping territory.
+            return cls(
+                regions=tuple(
+                    shard.spec.boxes or (shard.spec.region,) for shard in plan.shards
+                ),
+                task_counts=tuple(shard.task_count for shard in plan.shards),
+            )
+        return cls(
+            regions=tuple(tuple(group) for group in prior.regions),
+            task_counts=tuple(prior.report.per_shard_task_counts),
+        )
+
+    @property
+    def max_over_mean(self) -> float:
+        """Load-balance figure of merit: hottest shard load over the mean
+        (1.0 is perfectly balanced; the critical-path cap scales with it)."""
+        total = sum(self.task_counts)
+        if total == 0:
+            return 1.0
+        return max(self.task_counts) / (total / len(self.task_counts))
+
+
+class LoadAwarePartitioner:
+    """Pre-split hot zones / pre-merge cold ones from a prior load report.
+
+    Where :class:`SpatialPartitioner` cuts the city blind, this partitioner
+    consumes the per-shard loads a *previous* solve observed
+    (:class:`ShardLoadReport`) and refines that solve's regions **before**
+    the next solve: iteratively apply :func:`plan_rebalance_action` under
+    ``policy`` — split the hottest shard (estimating half the load per
+    half), merge the coldest pair — until the rule goes quiet or ``rounds``
+    is exhausted.  The refinement is a pure function of the report and the
+    policy, so two partitioners built from the same prior produce identical
+    shards (pinned by ``tests/distributed/test_offline_pool.py``).
+
+    The refined partition plugs straight into
+    :class:`~repro.distributed.coordinator.DistributedCoordinator` in place
+    of a grid partitioner: :meth:`partition` serves the offline ``solve()``
+    path, and :attr:`box_groups` serves ``open_stream``'s router, so one
+    skew profile can steer both execution modes.
+    """
+
+    def __init__(
+        self,
+        region: BoundingBox,
+        prior,
+        policy: Optional[RebalancePolicy] = None,
+        rounds: int = 8,
+    ) -> None:
+        if rounds < 0:
+            raise ValueError("rounds must be >= 0")
+        self.region = region
+        self.policy = policy or RebalancePolicy()
+        self.report = ShardLoadReport.from_prior(prior)
+        self.zones = ZonePartition(
+            region, self._refine(self.report, self.policy, rounds)
+        )
+
+    @staticmethod
+    def _refine(
+        report: ShardLoadReport, policy: RebalancePolicy, rounds: int
+    ) -> List[Tuple[BoundingBox, ...]]:
+        """Apply the split/merge rule to the report's regions ``rounds``
+        times at most, mirroring the streaming rebalancer's bookkeeping:
+        acted-on shards are removed and their replacements appended."""
+        groups: List[Tuple[BoundingBox, ...]] = [tuple(g) for g in report.regions]
+        loads: List[float] = [float(count) for count in report.task_counts]
+        for _ in range(rounds):
+            action = plan_rebalance_action(loads, policy)
+            if action is None:
+                break
+            if action.kind == "split":
+                hot = action.positions[0]
+                left, right = split_box_group(groups[hot])
+                load = loads[hot]
+                del groups[hot], loads[hot]
+                groups += [left, right]
+                # Half-and-half is the only deterministic estimate available
+                # without re-routing; the true split is measured next solve.
+                loads += [load / 2.0, load / 2.0]
+            else:
+                first, second = action.positions  # coldest first
+                merged_boxes = groups[first] + groups[second]
+                merged_load = loads[first] + loads[second]
+                for position in sorted(action.positions, reverse=True):
+                    del groups[position], loads[position]
+                groups.append(merged_boxes)
+                loads.append(merged_load)
+        return groups
+
+    @property
+    def box_groups(self) -> Tuple[Tuple[BoundingBox, ...], ...]:
+        """The refined shard regions (consumed by ``open_stream``'s router)."""
+        return self.zones.box_groups
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards after refinement."""
+        return self.zones.shard_count
+
+    def partition(self, instance: MarketInstance) -> PartitionPlan:
+        """Split ``instance`` over the refined zones.
+
+        Same contract as :meth:`SpatialPartitioner.partition`: tasks and
+        drivers are routed by source, shards own disjoint task sets, and a
+        multi-box shard's ``spec.region`` is the hull of its boxes.
+        """
+        specs = [
+            ShardSpec(
+                shard_id=shard_id, region=hull_of_boxes(group), boxes=tuple(group)
+            )
+            for shard_id, group in enumerate(self.zones.box_groups)
+        ]
+        return _plan_from_routing(
+            instance,
+            specs,
+            self.zones.route(task.source for task in instance.tasks),
+            self.zones.route(driver.source for driver in instance.drivers),
+        )

@@ -30,6 +30,13 @@ Only primal inputs ever cross the process boundary: drivers + cost model at
 open (plain frozen dataclasses with no derived caches) and
 :class:`~repro.distributed.payload.ShardPayloadDelta` arrays per batch (the
 new task columns only).
+
+The pool is also the offline execution substrate: the coordinator's
+``solve(pool=...)`` dispatches one-shot shard solves (top-level
+``solve_shard`` / ``solve_shard_payload`` calls) onto the same slot
+executors, so streaming sessions and offline re-solves share one set of warm
+workers.  Slots make no assumption about what runs on them — they are plain
+single-worker executors with a submission-order guarantee.
 """
 
 from __future__ import annotations
@@ -76,6 +83,7 @@ class ShardStreamSession:
 
     @property
     def task_count(self) -> int:
+        """How many tasks this shard's stream has accumulated so far."""
         return self._task_count
 
     def append(self, tasks: Sequence[Task]) -> int:
@@ -183,9 +191,29 @@ class PersistentWorkerPool:
     worker_count:
         Number of slots for the pooled policies (default: CPU count).
 
-    The pool is reusable: open as many consecutive streams on it as needed
-    (each identified by :func:`next_stream_token`), and ``close()`` it once —
-    that is the amortisation the streaming benchmarks measure.
+    Lifecycle
+    ---------
+
+    Slot executors are created lazily on first submit to a slot and stay
+    alive until :meth:`close` — there is no per-stream or per-solve setup or
+    teardown.  The pool is reusable across *kinds* of work, not just across
+    streams: open as many consecutive streams on it as needed (each
+    identified by :func:`next_stream_token`), interleave offline
+    ``solve(pool=...)`` fan-outs on the same slots, and ``close()`` it once —
+    that amortisation across re-solves is what
+    ``benchmarks/bench_offline_pool.py`` and the streaming benchmarks
+    measure.  ``close()`` is idempotent and terminal: a closed pool raises
+    on submit rather than silently re-forking.
+
+    Slot pinning
+    ------------
+
+    ``submit(slot, ...)`` reduces ``slot`` modulo :attr:`worker_count`, so a
+    caller can use any stable integer (a shard id, a round-robin counter) as
+    the pinning key.  Work pinned to the same slot runs in the same
+    thread/process in submission order — the locality guarantee that lets a
+    worker hold shard state across calls; work on different slots runs
+    concurrently with no ordering relation.
     """
 
     def __init__(self, executor: str = "process", worker_count: Optional[int] = None) -> None:

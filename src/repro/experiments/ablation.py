@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..analysis.reporting import format_table
 from ..distributed.coordinator import DistributedCoordinator
 from ..distributed.partition import SpatialPartitioner
+from ..distributed.pool import PersistentWorkerPool
 from ..market.instance import MarketInstance, tasks_from_trips
 from ..offline.greedy import greedy_assignment
 from ..trace.drivers import WorkingModel
@@ -147,6 +148,7 @@ def run_partition_ablation(
     max_workers: Optional[int] = None,
     stream: bool = False,
     window_s: float = 60.0,
+    pool: Optional[PersistentWorkerPool] = None,
 ) -> PartitionAblationResult:
     """Solve the same market with increasingly fine spatial shards.
 
@@ -154,9 +156,16 @@ def run_partition_ablation(
     ``"thread"`` or ``"process"``); the merged solutions are identical across
     policies, only ``wall_clock_s`` changes.  With ``stream=True`` each grid
     point consumes the day as a *live* order stream through per-shard
-    streaming sessions on the coordinator's persistent worker pool
-    (``solve_stream``) instead of an offline greedy re-solve — the streaming
-    twin of the same sharding trade-off, with ``window_s`` dispatch windows.
+    streaming sessions on the persistent worker pool (``solve_stream``)
+    instead of an offline greedy re-solve — the streaming twin of the same
+    sharding trade-off, with ``window_s`` dispatch windows.
+
+    Every grid point — offline *and* streamed — runs on **one** warm
+    :class:`~repro.distributed.pool.PersistentWorkerPool` held across the
+    whole sweep, so worker startup is paid once per ablation rather than
+    once per grid.  Pass ``pool=`` to share an even longer-lived pool (the
+    CLI's ``experiment`` command does, across every figure it runs); the
+    ablation only closes a pool it created itself.
     """
     cfg = config or ExperimentConfig()
     workload = build_workload(cfg)
@@ -172,32 +181,41 @@ def run_partition_ablation(
         batch_config = None
         baseline = greedy_assignment(instance).total_value
 
+    owns_pool = pool is None
+    if owns_pool:
+        pool = PersistentWorkerPool(executor=executor, worker_count=max_workers)
     points: List[PartitionPoint] = []
-    for rows, cols in grids:
-        with DistributedCoordinator(
-            SpatialPartitioner(cfg.bounding_box, rows, cols),
-            solver_name="greedy",
-            executor=executor,
-            max_workers=max_workers,
-        ) as coordinator:
+    try:
+        for rows, cols in grids:
+            coordinator = DistributedCoordinator(
+                SpatialPartitioner(cfg.bounding_box, rows, cols),
+                solver_name="greedy",
+                executor=executor,
+                max_workers=max_workers,
+            )
             start = time.perf_counter()
             if stream:
-                streamed = coordinator.solve_stream(instance, config=batch_config)
+                streamed = coordinator.solve_stream(
+                    instance, config=batch_config, pool=pool
+                )
                 solution = streamed.solution
             else:
-                solution = coordinator.solve(instance).solution
+                solution = coordinator.solve(instance, pool=pool).solution
             elapsed = time.perf_counter() - start
-        retention = solution.total_value / baseline if baseline > 0 else 1.0
-        points.append(
-            PartitionPoint(
-                shard_grid=(rows, cols),
-                shard_count=rows * cols,
-                total_profit=solution.total_value,
-                served_count=solution.served_count,
-                wall_clock_s=elapsed,
-                value_retention=retention,
+            retention = solution.total_value / baseline if baseline > 0 else 1.0
+            points.append(
+                PartitionPoint(
+                    shard_grid=(rows, cols),
+                    shard_count=rows * cols,
+                    total_profit=solution.total_value,
+                    served_count=solution.served_count,
+                    wall_clock_s=elapsed,
+                    value_retention=retention,
+                )
             )
-        )
+    finally:
+        if owns_pool:
+            pool.close()
     return PartitionAblationResult(
         baseline_profit=baseline,
         points=tuple(points),

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..analysis.ratio import BoundKind
+from ..distributed.pool import PersistentWorkerPool
 from ..trace.drivers import WorkingModel
 from .ablation import PartitionAblationResult, SurgeAblationResult, run_partition_ablation, run_surge_ablation
 from .config import DEFAULT_SCALE, ExperimentConfig, ExperimentScale
@@ -50,6 +51,7 @@ def run_everything(
     bound_kind: BoundKind = BoundKind.LP_RELAXATION,
     partition_executor: str = "serial",
     stream: bool = False,
+    pool: Optional[PersistentWorkerPool] = None,
 ) -> FullRunResult:
     """Run every experiment at the given scale (default: the reduced scale).
 
@@ -59,6 +61,12 @@ def run_everything(
     runs that ablation in live streaming mode — per-shard streaming sessions
     on the persistent worker pool instead of offline greedy re-solves — so
     the executor and streaming knobs can be swept together from the CLI.
+
+    ``pool`` optionally supplies one warm
+    :class:`~repro.distributed.pool.PersistentWorkerPool` for every
+    distributed solve in the run (the CLI's ``experiment`` command holds one
+    across the whole invocation); without it the partitioning ablation still
+    warms its own pool for the duration of its grid sweep.
     """
     chosen_scale = scale or DEFAULT_SCALE
     hitch_cfg = ExperimentConfig(scale=chosen_scale, working_model=WorkingModel.HITCHHIKING)
@@ -71,7 +79,7 @@ def run_everything(
         market_insights=run_market_insight_sweep(config=hitch_cfg),
         surge_ablation=run_surge_ablation(config=hitch_cfg),
         partition_ablation=run_partition_ablation(
-            config=hitch_cfg, executor=partition_executor, stream=stream
+            config=hitch_cfg, executor=partition_executor, stream=stream, pool=pool
         ),
     )
 
