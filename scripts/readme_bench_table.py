@@ -33,6 +33,7 @@ SMOKE_NAMES = (
     "BENCH_distributed_smoke",
     "BENCH_streaming_smoke",
     "BENCH_offline_pool_smoke",
+    "BENCH_scenarios_smoke",
 )
 
 
@@ -97,6 +98,25 @@ def _row_offline_pool(d: dict) -> list[str]:
     ]
 
 
+def _row_scenarios(d: dict) -> list[str]:
+    stream_rows = [row for row in d.get("rows", []) if row["mode"] == "stream-batched"]
+    serve = [row["serve_rate"] for row in stream_rows]
+    skew = [row["shard_skew"] for row in stream_rows]
+    spread = (
+        f"streamed serve rate {min(serve):.2f}–{max(serve):.2f}, "
+        f"shard skew up to {max(skew):.2f}"
+        if stream_rows
+        else "see the artifact"
+    )
+    return [
+        "`BENCH_scenarios.json` — scenario engine (declarative city days)",
+        f"{d['scenario_count']} scenarios, ≤ {d['task_count']} tasks, "
+        f"{d['worker_count']} workers, {d['grid']} grid",
+        f"{_parity(d['solution_parity'])} (compile deterministic + offline/stream "
+        f"executors + stream == replay), {spread}",
+    ]
+
+
 def _row_smokes(artifacts: dict[str, dict]) -> list[str] | None:
     present = [name for name in SMOKE_NAMES if name in artifacts]
     if not present:
@@ -116,6 +136,7 @@ ROW_BUILDERS = {
     "BENCH_streaming_append": _row_streaming_append,
     "BENCH_streaming_shards": _row_streaming_shards,
     "BENCH_offline_pool": _row_offline_pool,
+    "BENCH_scenarios": _row_scenarios,
 }
 
 

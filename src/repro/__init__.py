@@ -5,8 +5,10 @@ Ride-sharing Markets"* (Jia, Xu, Liu — ICDCS 2017): the two-sided market
 model, per-driver task-map construction, the offline greedy node-disjoint-path
 algorithm with its ``1/(D+1)`` guarantee, the LP/exact/Lagrangian upper
 bounds, the Nearest and maxMargin online heuristics, surge pricing, a
-Porto-like trace substrate, a distributed (sharded) solving mode, and the
-experiment harness that regenerates every figure of the paper's evaluation.
+Porto-like trace substrate, a distributed (sharded) solving mode, a
+declarative scenario engine (demand surges, closures, supply shocks —
+see :mod:`repro.scenarios`), and the experiment harness that regenerates
+every figure of the paper's evaluation.
 
 Quickstart
 ----------
@@ -70,6 +72,13 @@ from .trace import (
     load_porto_trips,
 )
 from .distributed import DistributedCoordinator, SpatialPartitioner
+from .scenarios import (
+    ScenarioSpec,
+    compile_scenario,
+    get_scenario,
+    run_scenario_suite,
+    scenario_names,
+)
 from .analysis import BoundKind, PerformanceRatio, compute_upper_bound, fleet_stats
 from .io import load_instance, load_solution, save_instance, save_solution
 from .experiments import (
@@ -138,6 +147,12 @@ __all__ = [
     # distributed
     "SpatialPartitioner",
     "DistributedCoordinator",
+    # scenarios
+    "ScenarioSpec",
+    "compile_scenario",
+    "get_scenario",
+    "scenario_names",
+    "run_scenario_suite",
     # analysis
     "BoundKind",
     "PerformanceRatio",

@@ -19,6 +19,11 @@ Installed as the ``repro`` console script (also reachable as
     Print the structural summary of a market (sizes, arcs, diameter).
 ``experiment``
     Re-run the paper's experiments (fig3-4, fig5, fig6-9, ablations or all).
+``scenario``
+    The declarative workload engine: ``scenario list`` names the built-in
+    city days, ``scenario run`` compiles one and runs it offline or as a
+    live sharded stream, ``scenario compare`` sweeps scenarios x dispatch
+    modes on one warm worker pool and prints the metrics comparison.
 """
 
 from __future__ import annotations
@@ -141,6 +146,76 @@ def build_parser() -> argparse.ArgumentParser:
         default=False,
         help="run the partitioning ablation as a live order stream on the "
         "persistent shard pool instead of offline greedy re-solves",
+    )
+    experiment.add_argument(
+        "--scenarios",
+        metavar="NAMES",
+        help="--figure all only: append a scenario-suite comparison over the "
+        "comma-separated built-in scenarios ('all' for the whole library), "
+        "sharing the run's warm worker pool",
+    )
+
+    scenario = subparsers.add_parser(
+        "scenario", help="declarative city workloads (list / run / compare)"
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    scenario_sub.add_parser("list", help="name and describe the built-in scenarios")
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="compile one scenario and run it end to end"
+    )
+    scenario_run.add_argument("--name", required=True, help="a built-in scenario name")
+    scenario_run.add_argument(
+        "--mode",
+        choices=["offline", "stream"],
+        default="stream",
+        help="offline sharded solve() or live sharded solve_stream()",
+    )
+    scenario_run.add_argument(
+        "--solver",
+        choices=["greedy", "nearest", "maxMargin"],
+        default="greedy",
+        help="offline mode only: the shard solver",
+    )
+    scenario_run.add_argument("--trips", type=int, help="rescale the scenario's demand volume")
+    scenario_run.add_argument("--drivers", type=int, help="rescale the scenario's fleet")
+    scenario_run.add_argument("--seed", type=int, help="override the scenario's seed")
+    scenario_run.add_argument(
+        "--executor", choices=sorted(EXECUTOR_POLICIES), default="serial",
+        help="shard fan-out policy (results are executor-independent)",
+    )
+    scenario_run.add_argument(
+        "--grid", default="2x2", metavar="RxC",
+        help="shard grid over the scenario's service region",
+    )
+
+    scenario_compare = scenario_sub.add_parser(
+        "compare", help="sweep scenarios x dispatch modes on one warm pool"
+    )
+    scenario_compare.add_argument(
+        "--names",
+        help="comma-separated scenario names (default: every built-in scenario)",
+    )
+    scenario_compare.add_argument(
+        "--solvers", default="greedy",
+        help="comma-separated offline shard solvers (empty string to skip offline)",
+    )
+    scenario_compare.add_argument(
+        "--stream",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="include the streamed batched-Hungarian mode",
+    )
+    scenario_compare.add_argument("--trips", type=int, help="rescale every scenario's demand")
+    scenario_compare.add_argument("--drivers", type=int, help="rescale every scenario's fleet")
+    scenario_compare.add_argument(
+        "--executor", choices=sorted(EXECUTOR_POLICIES), default="serial",
+        help="worker-pool policy the whole sweep shares",
+    )
+    scenario_compare.add_argument(
+        "--grid", default="2x2", metavar="RxC",
+        help="shard grid over each scenario's service region",
     )
 
     return parser
@@ -274,10 +349,14 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
     config = ExperimentConfig(scale=scale)
+    if args.scenarios and args.figure != "all":
+        raise SystemExit("--scenarios requires --figure all")
     if args.figure == "all":
+        scenarios = _parse_scenario_names(args.scenarios or None)
         # One warm worker pool for every distributed solve in the run: the
-        # partitioning ablation's whole grid sweep reuses the same forked
-        # workers instead of paying executor startup per grid point.
+        # partitioning ablation's whole grid sweep (and the scenario suite,
+        # when requested) reuses the same forked workers instead of paying
+        # executor startup per grid point.
         with PersistentWorkerPool(executor=args.executor) as pool:
             print(
                 run_everything(
@@ -285,6 +364,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                     partition_executor=args.executor,
                     stream=args.stream,
                     pool=pool,
+                    scenarios=scenarios,
                 ).render()
             )
         return 0
@@ -310,6 +390,121 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled figure choice {args.figure!r}")
 
 
+def _parse_scenario_names(text: Optional[str]) -> Optional[list]:
+    """Split a comma-separated scenario-name list, tolerating whitespace and
+    failing with a clean CLI error (not a traceback) on unknown names.
+    ``None`` input stays ``None``; ``"all"`` resolves to the whole library.
+    """
+    if text is None:
+        return None
+    from .scenarios import get_scenario, scenario_names
+
+    if text.strip() == "all":
+        return scenario_names()
+    names = [token.strip() for token in text.split(",") if token.strip()]
+    for name in names:
+        try:
+            get_scenario(name)
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}")
+    return names
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from .scenarios import (
+        BUILTIN_SCENARIOS,
+        compile_scenario,
+        get_scenario,
+        run_scenario_suite,
+    )
+
+    if args.scenario_command == "list":
+        width = max(len(name) for name in BUILTIN_SCENARIOS)
+        for name, spec in BUILTIN_SCENARIOS.items():
+            events = ", ".join(type(e).__name__ for e in spec.events)
+            print(f"{name.ljust(width)}  [{events}]")
+            print(f"{' ' * width}  {spec.description}")
+        return 0
+
+    if args.scenario_command == "run":
+        try:
+            spec = get_scenario(args.name).with_scale(args.trips, args.drivers)
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(f"error: {exc.args[0]}")
+        if args.seed is not None:
+            spec = spec.with_seed(args.seed)
+        compiled = compile_scenario(spec)
+        rows, cols = _parse_grid(args.grid)
+        print(
+            f"scenario: {spec.name} — {spec.description}\n"
+            f"compiled: {len(compiled.trips)} trips, {compiled.instance.task_count} "
+            f"tasks, {compiled.instance.driver_count} drivers "
+            f"(checksum {compiled.checksum()[:12]})"
+        )
+        from .distributed import DistributedCoordinator, SpatialPartitioner
+        from .online.batch import BatchConfig
+
+        with DistributedCoordinator(
+            SpatialPartitioner(spec.region, rows, cols),
+            solver_name=args.solver,
+            executor=args.executor,
+        ) as coordinator:
+            if args.mode == "offline":
+                result = coordinator.solve(compiled.instance)
+                print(f"mode: offline-{args.solver} ({args.executor}, {rows}x{cols} grid)")
+                print(format_metric_dict(result.solution.summary()))
+            else:
+                result = coordinator.solve_stream(
+                    compiled.instance,
+                    compiled.arrival_batches(),
+                    config=BatchConfig(window_s=spec.window_s),
+                )
+                report = result.report
+                print(
+                    f"mode: stream-batched ({args.executor}, {rows}x{cols} grid), "
+                    f"{report.batch_count} batches, mean wait "
+                    f"{report.mean_wait_s:.1f}s, wall {report.wall_clock_s:.2f}s"
+                )
+                print(format_metric_dict(result.solution.summary()))
+        return 0
+
+    if args.scenario_command == "compare":
+        from .scenarios import OFFLINE_SOLVERS
+
+        names = _parse_scenario_names(args.names)
+        solvers = tuple(s.strip() for s in args.solvers.split(",") if s.strip())
+        for solver in solvers:
+            if solver not in OFFLINE_SOLVERS:
+                raise SystemExit(
+                    f"error: unknown solver {solver!r}; expected a subset of "
+                    f"{list(OFFLINE_SOLVERS)}"
+                )
+        rows, cols = _parse_grid(args.grid)
+        scenarios = None
+        if names is not None or args.trips is not None or args.drivers is not None:
+            from .scenarios import scenario_names
+
+            try:
+                scenarios = [
+                    get_scenario(name).with_scale(args.trips, args.drivers)
+                    for name in (names if names is not None else scenario_names())
+                ]
+            except ValueError as exc:
+                raise SystemExit(f"error: {exc.args[0]}")
+        suite = run_scenario_suite(
+            scenarios,
+            solvers=solvers,
+            stream=args.stream,
+            rows=rows,
+            cols=cols,
+            executor=args.executor,
+        )
+        print(suite.render())
+        return 0
+
+    raise AssertionError(f"unhandled scenario command {args.scenario_command!r}")
+
+
 _COMMANDS = {
     "generate-trace": _cmd_generate_trace,
     "build-market": _cmd_build_market,
@@ -317,6 +512,7 @@ _COMMANDS = {
     "bound": _cmd_bound,
     "info": _cmd_info,
     "experiment": _cmd_experiment,
+    "scenario": _cmd_scenario,
 }
 
 

@@ -126,6 +126,7 @@ from .partition import (
     MarketShard,
     PartitionPlan,
     RebalancePolicy,
+    ShardLoadReport,
     SpatialPartitioner,
     ZonePartition,
     plan_rebalance_action,
@@ -138,6 +139,7 @@ from .pool import (
     _pool_discard,
     _pool_finish,
     _pool_open,
+    lpt_slot_assignment,
     next_stream_token,
 )
 
@@ -567,6 +569,7 @@ class DistributedStreamSession:
         merged_profits: Dict[str, float] = {}
         rejected: set = set()
         durations: List[float] = []
+        wait_total_s = 0.0
         for shard in self._shards:
             result = results[shard.shard_id]
             if result is None:
@@ -583,6 +586,7 @@ class DistributedStreamSession:
             merged_profits.update(result.driver_profits)
             rejected.update(shard.global_indices[m] for m in result.rejected_tasks)
             durations.append(result.elapsed_s)
+            wait_total_s += result.wait_total_s
 
         instance = MarketInstance(
             drivers=self._fleet, tasks=tuple(self._tasks), cost_model=self._cost_model
@@ -611,6 +615,7 @@ class DistributedStreamSession:
             executor=self._pool.executor,
             worker_count=self._pool.worker_count,
             rebalance_count=self._rebalances,
+            wait_total_s=wait_total_s,
         )
         return DistributedStreamResult(
             solution=solution,
@@ -786,6 +791,7 @@ class DistributedCoordinator:
         *,
         pool: Optional[PersistentWorkerPool] = None,
         reuse_pool: bool = False,
+        load_report: Optional[ShardLoadReport] = None,
     ) -> DistributedResult:
         """Solve ``instance`` shard by shard and merge the results.
 
@@ -804,11 +810,24 @@ class DistributedCoordinator:
             lazily created pool, shared with the streaming path and kept
             warm until :meth:`close`.
 
-        **Parity contract (pool == fork):** pooled dispatch runs the exact
-        :func:`solve_shard` / :func:`solve_shard_payload` worker entries on
-        the same per-shard requests and merges in the same shard order, so
-        the merged solution is bit-identical to the fork path under every
-        executor policy (pinned by ``tests/distributed/test_offline_pool.py``).
+        ``load_report`` (pooled dispatch only) switches the shard->slot
+        placement from round-robin to longest-processing-time-first over
+        the loads a *prior* solve observed (anything
+        :meth:`ShardLoadReport.from_prior` accepts — a report, a prior
+        ``DistributedResult``/stream result, or a bare plan).  When the
+        report's shard count no longer matches the current partition, the
+        current shards' own task counts stand in.  Packing the hottest
+        shards onto separate single-worker slots first caps the slowest
+        slot far below what round-robin risks on skewed cities.
+
+        **Parity contract (pool == fork, placement-independent):** pooled
+        dispatch runs the exact :func:`solve_shard` /
+        :func:`solve_shard_payload` worker entries on the same per-shard
+        requests and merges in the same shard order — placement only moves
+        shards between slots — so the merged solution is bit-identical to
+        the fork path under every executor policy and any placement
+        (pinned by ``tests/distributed/test_offline_pool.py`` and
+        ``tests/distributed/test_placement.py``).
         """
         start = time.perf_counter()
         if reuse_pool and pool is None:
@@ -843,7 +862,7 @@ class DistributedCoordinator:
             worker_count = self._resolve_worker_count(len(live))
             executor_label = self.executor
         for position, result in zip(
-            live, self._solve_live(plan, requests, live, worker_count, pool)
+            live, self._solve_live(plan, requests, live, worker_count, pool, load_report)
         ):
             results[position] = result
         solved = [result for result in results if result is not None]
@@ -888,6 +907,35 @@ class DistributedCoordinator:
             pool_width = os.cpu_count() or 1  # ProcessPoolExecutor default
         return max(1, min(pool_width, live_count))
 
+    def _placement_slots(
+        self,
+        plan: PartitionPlan,
+        live: List[int],
+        slot_count: int,
+        load_report: Optional[ShardLoadReport],
+    ) -> List[int]:
+        """One pool slot per live shard.
+
+        Round-robin in shard order by default (the historical behaviour);
+        with a prior load report, longest-processing-time-first over the
+        reported loads.  The report's loads are only trusted when its
+        regions match the current partition shard-for-shard — a report from
+        a different grid (or a rebalanced stream) falls back to the current
+        shards' own task counts rather than attributing loads to the wrong
+        shards.
+        """
+        if load_report is None:
+            return list(range(len(live)))
+        report = ShardLoadReport.from_prior(load_report)
+        plan_regions = tuple(
+            shard.spec.boxes or (shard.spec.region,) for shard in plan.shards
+        )
+        if report.regions == plan_regions:
+            loads = [float(report.task_counts[position]) for position in live]
+        else:
+            loads = [float(plan.shards[position].task_count) for position in live]
+        return lpt_slot_assignment(loads, max(1, min(slot_count, len(live))))
+
     def _solve_live(
         self,
         plan: PartitionPlan,
@@ -895,29 +943,33 @@ class DistributedCoordinator:
         live: List[int],
         worker_count: int,
         pool: Optional[PersistentWorkerPool] = None,
+        load_report: Optional[ShardLoadReport] = None,
     ) -> List[ShardWorkResult]:
         """Solve the non-degenerate shards under the configured policy,
         returning results in ``live`` order.
 
-        With a persistent ``pool``, shard requests go round-robin onto its
-        (already warm) slot executors and the pool's own policy decides the
-        wire format — the process policy ships payloads, exactly like the
-        fork path.  Without one, short-lived pools are created with the
-        already-resolved ``worker_count``, so the width the report claims is
-        the width that actually ran.
+        With a persistent ``pool``, shard requests go onto its (already
+        warm) slot executors — round-robin, or packed by
+        :meth:`_placement_slots` when a prior load report is supplied — and
+        the pool's own policy decides the wire format: the process policy
+        ships payloads, exactly like the fork path.  Without one,
+        short-lived pools are created with the already-resolved
+        ``worker_count``, so the width the report claims is the width that
+        actually ran.
         """
         shards = [plan.shards[position] for position in live]
         reqs = [requests[position] for position in live]
         if pool is not None:
+            slots = self._placement_slots(plan, live, pool.worker_count, load_report)
             if pool.executor == "process":
                 futures = [
                     pool.submit(slot, solve_shard_payload, payload_from_shard(shard), req)
-                    for slot, (shard, req) in enumerate(zip(shards, reqs))
+                    for slot, shard, req in zip(slots, shards, reqs)
                 ]
             else:
                 futures = [
                     pool.submit(slot, solve_shard, shard, req)
-                    for slot, (shard, req) in enumerate(zip(shards, reqs))
+                    for slot, shard, req in zip(slots, shards, reqs)
                 ]
             return [future.result() for future in futures]
         if self.executor == "serial" or len(live) <= 1:

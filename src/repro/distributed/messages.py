@@ -100,6 +100,10 @@ class ShardStreamResult:
     served_count: int
     #: Worker-side time spent in this shard's appends + final flush.
     elapsed_s: float
+    #: Sum of publish->pickup waits over the shard's served tasks (simulated
+    #: time, not wall clock).  Computed worker-side from the same outcome as
+    #: the assignment, so it is executor-independent like everything else.
+    wait_total_s: float = 0.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -119,6 +123,9 @@ class StreamReport:
     worker_count: int = 1
     #: Skew-aware split/merge actions taken between windows.
     rebalance_count: int = 0
+    #: Sum of publish->pickup waits over all served tasks (simulated time),
+    #: merged from the per-shard totals in shard order.
+    wait_total_s: float = 0.0
 
     @property
     def critical_path_speedup(self) -> float:
@@ -128,6 +135,15 @@ class StreamReport:
         if self.slowest_shard_s <= 0:
             return 1.0
         return total_worker_time / self.slowest_shard_s
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Mean publish->pickup wait of a served task (0 when nothing was
+        served) — the latency counterpart of ``total_value``/``served_count``
+        in per-scenario comparisons."""
+        if self.served_count <= 0:
+            return 0.0
+        return self.wait_total_s / self.served_count
 
 
 class Stopwatch:

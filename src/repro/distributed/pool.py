@@ -112,6 +112,7 @@ class ShardStreamSession:
             total_value=outcome.total_value,
             served_count=outcome.served_count,
             elapsed_s=self._elapsed_s,
+            wait_total_s=outcome.total_wait_s,
         )
 
 
@@ -157,6 +158,37 @@ def _pool_finish(token: int, shard_id: int) -> ShardStreamResult:
 
 def _pool_discard(token: int, shard_id: int) -> None:
     _SESSIONS.pop((token, shard_id), None)
+
+
+# ----------------------------------------------------------------------
+# slot placement
+# ----------------------------------------------------------------------
+def lpt_slot_assignment(loads: Sequence[float], slot_count: int) -> List[int]:
+    """Longest-processing-time-first assignment of work items to slots.
+
+    Returns one slot index per item (aligned with ``loads``): items are
+    taken in decreasing load order (ties broken by position, so the result
+    is deterministic) and each goes to the currently least-loaded slot
+    (ties broken by slot index).  The classic LPT list-scheduling rule —
+    a 4/3-approximation of the optimal makespan — which packs skewed shard
+    loads onto single-worker slots far better than round-robin: round-robin
+    can put the two hottest shards on the same slot, LPT never does while a
+    colder slot exists.
+
+    Used by ``DistributedCoordinator.solve(pool=..., load_report=...)``;
+    placement only changes *where* a shard runs, never its request or the
+    merge order, so the merged solution is placement-independent.
+    """
+    if slot_count < 1:
+        raise ValueError("slot_count must be >= 1")
+    slot_loads = [0.0] * slot_count
+    assignment = [0] * len(loads)
+    order = sorted(range(len(loads)), key=lambda i: (-float(loads[i]), i))
+    for item in order:
+        slot = min(range(slot_count), key=lambda j: (slot_loads[j], j))
+        assignment[item] = slot
+        slot_loads[slot] += float(loads[item])
+    return assignment
 
 
 # ----------------------------------------------------------------------

@@ -10,10 +10,11 @@ one figure at a time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from ..analysis.ratio import BoundKind
 from ..distributed.pool import PersistentWorkerPool
+from ..scenarios.suite import ScenarioSuiteResult, run_scenario_suite
 from ..trace.drivers import WorkingModel
 from .ablation import PartitionAblationResult, SurgeAblationResult, run_partition_ablation, run_surge_ablation
 from .config import DEFAULT_SCALE, ExperimentConfig, ExperimentScale
@@ -32,6 +33,9 @@ class FullRunResult:
     market_insights: MarketInsightResult
     surge_ablation: SurgeAblationResult
     partition_ablation: PartitionAblationResult
+    #: Scenario-suite comparison, present when the run was asked for one
+    #: (``run_everything(scenarios=...)``).
+    scenario_suite: Optional[ScenarioSuiteResult] = None
 
     def render(self) -> str:
         sections = [
@@ -42,6 +46,8 @@ class FullRunResult:
             self.surge_ablation.render(),
             self.partition_ablation.render(),
         ]
+        if self.scenario_suite is not None:
+            sections.append(self.scenario_suite.render())
         divider = "\n" + "=" * 72 + "\n"
         return divider.join(sections)
 
@@ -52,6 +58,7 @@ def run_everything(
     partition_executor: str = "serial",
     stream: bool = False,
     pool: Optional[PersistentWorkerPool] = None,
+    scenarios: Optional[Sequence[str]] = None,
 ) -> FullRunResult:
     """Run every experiment at the given scale (default: the reduced scale).
 
@@ -67,11 +74,22 @@ def run_everything(
     distributed solve in the run (the CLI's ``experiment`` command holds one
     across the whole invocation); without it the partitioning ablation still
     warms its own pool for the duration of its grid sweep.
+
+    ``scenarios`` appends a scenario-suite comparison over exactly the
+    named built-in scenarios (see :mod:`repro.scenarios`) to the run,
+    sharing the same warm pool when one is supplied; ``None`` (default)
+    skips the suite, and an empty sequence yields an empty suite rather
+    than silently running the whole library.
     """
     chosen_scale = scale or DEFAULT_SCALE
     hitch_cfg = ExperimentConfig(scale=chosen_scale, working_model=WorkingModel.HITCHHIKING)
     hwh_cfg = ExperimentConfig(scale=chosen_scale, working_model=WorkingModel.HOME_WORK_HOME)
 
+    scenario_suite = None
+    if scenarios is not None:
+        scenario_suite = run_scenario_suite(
+            list(scenarios), executor=partition_executor, pool=pool
+        )
     return FullRunResult(
         distributions=run_distribution_experiment(hitch_cfg),
         fig5_hitchhiking=run_fig5(config=hitch_cfg, bound_kind=bound_kind),
@@ -81,6 +99,7 @@ def run_everything(
         partition_ablation=run_partition_ablation(
             config=hitch_cfg, executor=partition_executor, stream=stream, pool=pool
         ),
+        scenario_suite=scenario_suite,
     )
 
 

@@ -207,6 +207,28 @@ class TravelModel:
         return self.cost_for_distance(self.distance_km(origin, destination))
 
     # ------------------------------------------------------------------
+    # derived models
+    # ------------------------------------------------------------------
+    def scaled(self, speed_factor: float = 1.0, cost_factor: float = 1.0) -> "TravelModel":
+        """A copy of this model with speed and per-km cost scaled.
+
+        The hook the scenario engine uses to express city-wide conditions —
+        a rainy day halves speeds (``speed_factor=0.5``), a fuel-price spike
+        raises ``cost_factor`` — without touching the estimator or any
+        caller: the scaled model is a plain :class:`TravelModel`, so every
+        batch kernel and cache keyed on it keeps working.
+        """
+        if speed_factor <= 0:
+            raise ValueError("speed_factor must be positive")
+        if cost_factor < 0:
+            raise ValueError("cost_factor must be non-negative")
+        return TravelModel(
+            estimator=self.estimator,
+            speed_kmh=self.speed_kmh * speed_factor,
+            cost_per_km=self.cost_per_km * cost_factor,
+        )
+
+    # ------------------------------------------------------------------
     # conversions for known distances (e.g. taken from the trace itself)
     # ------------------------------------------------------------------
     def time_for_distance_s(self, distance_km: float) -> float:

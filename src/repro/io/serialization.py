@@ -16,6 +16,7 @@ loaded instance behaves exactly like a freshly constructed one.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any, Dict, Mapping, Union
 
@@ -234,6 +235,11 @@ def outcome_to_dict(outcome: OnlineOutcome) -> Dict[str, Any]:
                 "driver_id": record.driver_id,
                 "task_indices": list(record.task_indices),
                 "profit": record.profit,
+                # Untracked commits carry NaN in memory; ship null so the
+                # document stays valid strict JSON.
+                "arrival_times": [
+                    None if math.isnan(ts) else ts for ts in record.arrival_times
+                ],
             }
             for record in outcome.records
         ],
@@ -250,6 +256,12 @@ def outcome_from_dict(data: Mapping[str, Any], instance: MarketInstance) -> Onli
             driver_id=str(entry["driver_id"]),
             task_indices=tuple(int(m) for m in entry["task_indices"]),
             profit=float(entry["profit"]),
+            # Documents written before wait tracking have no arrival_times;
+            # default to untracked rather than failing the load.
+            arrival_times=tuple(
+                math.nan if ts is None else float(ts)
+                for ts in entry.get("arrival_times", ())
+            ),
         )
         for entry in data.get("records", [])
     )

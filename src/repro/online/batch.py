@@ -403,6 +403,7 @@ class BatchedSimulator:
             dropoff_location=task.destination,
             dropoff_ts=choice.dropoff_ts,
             profit_delta=profit_delta,
+            arrival_ts=choice.arrival_ts,
         )
         self._kernel.sync(choice.state)
 
@@ -418,6 +419,7 @@ class BatchedSimulator:
             driver_id=state.driver.driver_id,
             task_indices=tuple(state.served),
             profit=profit,
+            arrival_times=tuple(state.arrival_times),
         )
 
 

@@ -12,6 +12,7 @@ profits are accounted from the drives actually simulated.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Tuple
 
@@ -25,6 +26,11 @@ class OnlineDriverRecord:
     driver_id: str
     task_indices: Tuple[int, ...]
     profit: float
+    #: When the driver reached each served task's pickup point, aligned
+    #: entry-for-entry with ``task_indices`` (NaN for untracked commits);
+    #: empty when the producing simulator does not track arrivals at all.
+    #: The wait-time metrics skip untracked entries either way.
+    arrival_times: Tuple[float, ...] = ()
 
     @property
     def task_count(self) -> int:
@@ -91,6 +97,43 @@ class OnlineOutcome:
             return 0.0
         return self.total_revenue / self.instance.driver_count
 
+    # ------------------------------------------------------------------
+    # wait-time metrics (publish -> pickup)
+    # ------------------------------------------------------------------
+    def wait_times_s(self) -> Dict[int, float]:
+        """Per served task: seconds from publication until a driver arrived
+        at the pickup point.
+
+        Only tasks whose record tracked an arrival appear (all of them for
+        the built-in simulators).  This is the latency half of the dispatch
+        quality story that serve rate and revenue do not show — under
+        trace-replay semantics the *ride* then starts at the recorded start
+        time, but the customer's wait for a car ends at arrival — and the
+        per-scenario comparison the scenario suite reports.
+        """
+        tasks = self.instance.tasks
+        waits: Dict[int, float] = {}
+        for record in self.records:
+            for m, arrival_ts in zip(record.task_indices, record.arrival_times):
+                if not math.isnan(arrival_ts):
+                    waits[m] = arrival_ts - tasks[m].publish_ts
+        return waits
+
+    @property
+    def total_wait_s(self) -> float:
+        """Sum of all tracked publish->arrival waits (deterministic: summed
+        in driver order — dict insertion order — so shard merges reproduce
+        it bit for bit)."""
+        return sum(self.wait_times_s().values())
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Mean publish->arrival wait over the tracked served tasks."""
+        waits = self.wait_times_s()
+        if not waits:
+            return 0.0
+        return sum(waits.values()) / len(waits)
+
     def tasks_per_driver(self) -> float:
         if self.instance.driver_count == 0:
             return 0.0
@@ -107,4 +150,5 @@ class OnlineOutcome:
             "tasks_per_driver": self.tasks_per_driver(),
             "active_drivers": float(self.active_driver_count),
             "rejected_tasks": float(len(self.rejected_tasks)),
+            "mean_wait_s": self.mean_wait_s,
         }

@@ -161,6 +161,7 @@ class OnlineSimulator:
             dropoff_location=task.destination,
             dropoff_ts=choice.dropoff_ts,
             profit_delta=profit_delta,
+            arrival_ts=choice.arrival_ts,
         )
         self._kernel.sync(choice.state)
 
@@ -178,6 +179,7 @@ class OnlineSimulator:
             driver_id=state.driver.driver_id,
             task_indices=tuple(state.served),
             profit=profit,
+            arrival_times=tuple(state.arrival_times),
         )
 
 

@@ -10,6 +10,7 @@ pickup and the marginal value ``delta_{n,m}`` of Eq. 14).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -32,6 +33,14 @@ class DriverState:
     last_task: Optional[int] = None
     #: All task indices assigned to her, in service order.
     served: List[int] = field(default_factory=list)
+    #: When the driver reached each served task's pickup point, aligned
+    #: entry-for-entry with ``served`` (NaN when a caller did not supply an
+    #: arrival, so later entries never shift).  Fed by the simulators'
+    #: commit paths; the wait-time metrics (publish -> driver arrival) are
+    #: derived from these at settlement.  Under trace-replay semantics the
+    #: *ride* then starts at the recorded start, but the customer's wait
+    #: for a car ends here.
+    arrival_times: List[float] = field(default_factory=list)
     #: Profit accumulated so far: task payoffs minus the empty-drive and
     #: in-task costs actually incurred (the driver's own final leg home and
     #: the direct-cost credit are settled at the end of the simulation).
@@ -53,9 +62,17 @@ class DriverState:
         dropoff_location: GeoPoint,
         dropoff_ts: float,
         profit_delta: float,
+        arrival_ts: Optional[float] = None,
     ) -> None:
-        """Commit a task to this driver and advance her state."""
+        """Commit a task to this driver and advance her state.
+
+        ``arrival_ts`` records when the driver reaches the pickup point;
+        callers that do not track it may omit it — a NaN keeps
+        ``arrival_times`` aligned with ``served`` and the wait-time metrics
+        skip that assignment.
+        """
         self.served.append(task_index)
+        self.arrival_times.append(math.nan if arrival_ts is None else arrival_ts)
         self.last_task = task_index
         self.location = dropoff_location
         self.free_at = dropoff_ts

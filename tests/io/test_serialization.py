@@ -122,6 +122,22 @@ class TestOutcomeRoundTrip:
         assert rebuilt.assignment() == outcome.assignment()
         assert rebuilt.rejected_tasks == outcome.rejected_tasks
         assert rebuilt.dispatcher_name == outcome.dispatcher_name
+        # Wait-time tracking survives the round trip value-identically.
+        for original, loaded in zip(outcome.records, rebuilt.records):
+            assert loaded.arrival_times == original.arrival_times
+        assert rebuilt.wait_times_s() == outcome.wait_times_s()
+        assert rebuilt.mean_wait_s == outcome.mean_wait_s
+
+    def test_outcome_documents_without_arrivals_still_load(self, instance):
+        """Documents written before wait tracking lack arrival_times."""
+        outcome = run_online(instance, MaxMarginDispatcher())
+        data = outcome_to_dict(outcome)
+        for entry in data["records"]:
+            del entry["arrival_times"]
+        rebuilt = outcome_from_dict(data, instance)
+        assert rebuilt.assignment() == outcome.assignment()
+        assert all(record.arrival_times == () for record in rebuilt.records)
+        assert rebuilt.mean_wait_s == 0.0
 
     def test_outcome_wrong_format_rejected(self, instance):
         with pytest.raises(SerializationError):

@@ -179,3 +179,53 @@ class TestOutcomeInvariants:
         outcome = run_online(chain, NearestDispatcher())
         with pytest.raises(KeyError):
             outcome.record_for("ghost")
+
+
+class TestWaitTimeTracking:
+    def test_arrivals_align_with_served_tasks(self, random_instance):
+        outcome = run_online(random_instance, NearestDispatcher())
+        tasks = random_instance.tasks
+        for record in outcome.records:
+            assert len(record.arrival_times) == len(record.task_indices)
+            for m, arrival_ts in zip(record.task_indices, record.arrival_times):
+                # A driver can only be dispatched after the order publishes
+                # and must arrive by the pickup deadline.
+                assert arrival_ts >= tasks[m].publish_ts
+                assert arrival_ts <= tasks[m].start_deadline_ts + 1e-9
+        waits = outcome.wait_times_s()
+        assert set(waits) == outcome.served_tasks()
+        assert all(w >= 0.0 for w in waits.values())
+        if waits:
+            assert outcome.mean_wait_s == pytest.approx(
+                sum(waits.values()) / len(waits)
+            )
+            assert outcome.total_wait_s == pytest.approx(sum(waits.values()))
+        assert outcome.summary()["mean_wait_s"] == outcome.mean_wait_s
+
+    def test_untracked_commit_keeps_alignment(self):
+        """A commit without arrival_ts must not shift later arrivals onto
+        the wrong task in the wait metrics."""
+        import math
+
+        from repro.online.state import DriverState
+
+        driver = Driver(
+            driver_id="d",
+            source=GeoPoint(0.0, 0.0),
+            destination=GeoPoint(0.0, 0.0),
+            start_ts=0.0,
+            end_ts=10_000.0,
+        )
+        state = DriverState.fresh(driver)
+        state.assign(
+            task_index=0, pickup_location=driver.source,
+            dropoff_location=driver.source, dropoff_ts=100.0, profit_delta=0.0,
+        )
+        state.assign(
+            task_index=1, pickup_location=driver.source,
+            dropoff_location=driver.source, dropoff_ts=200.0, profit_delta=0.0,
+            arrival_ts=150.0,
+        )
+        assert len(state.arrival_times) == len(state.served) == 2
+        assert math.isnan(state.arrival_times[0])
+        assert state.arrival_times[1] == 150.0

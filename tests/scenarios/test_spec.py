@@ -1,0 +1,116 @@
+"""Validation and semantics of the scenario spec layer."""
+
+import pytest
+
+from repro.geo import PORTO, BoundingBox
+from repro.scenarios import (
+    DemandSurge,
+    HotspotMigration,
+    ScenarioSpec,
+    SpatialFootprint,
+    SupplyShock,
+    TravelSlowdown,
+    ZoneClosure,
+)
+
+
+class TestSpatialFootprint:
+    def test_to_box_resolves_fractions(self):
+        footprint = SpatialFootprint(south=0.0, west=0.5, north=0.5, east=1.0)
+        box = footprint.to_box(PORTO)
+        assert box.south == PORTO.south
+        assert box.north == pytest.approx((PORTO.south + PORTO.north) / 2.0)
+        assert box.west == pytest.approx((PORTO.west + PORTO.east) / 2.0)
+        assert box.east == PORTO.east
+
+    def test_same_footprint_resolves_on_any_region(self):
+        footprint = SpatialFootprint(south=0.25, west=0.25, north=0.75, east=0.75)
+        nyc = BoundingBox(south=40.63, west=-74.05, north=40.85, east=-73.85)
+        for region in (PORTO, nyc):
+            box = footprint.to_box(region)
+            assert region.contains(box.center)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(south=-0.1, west=0.0, north=0.5, east=0.5),
+            dict(south=0.0, west=0.0, north=1.2, east=0.5),
+            dict(south=0.5, west=0.0, north=0.5, east=0.5),
+            dict(south=0.0, west=0.6, north=0.5, east=0.4),
+        ],
+    )
+    def test_rejects_bad_fractions(self, kwargs):
+        with pytest.raises(ValueError):
+            SpatialFootprint(**kwargs)
+
+
+class TestEvents:
+    def test_surge_rejects_bad_window_and_intensity(self):
+        with pytest.raises(ValueError):
+            DemandSurge(start_hour=9.0, end_hour=8.0, intensity=2.0)
+        with pytest.raises(ValueError):
+            DemandSurge(start_hour=8.0, end_hour=9.0, intensity=0.0)
+
+    def test_supply_shock_needs_exactly_one_delta(self):
+        with pytest.raises(ValueError):
+            SupplyShock(at_hour=12.0)
+        with pytest.raises(ValueError):
+            SupplyShock(at_hour=12.0, driver_delta=5, driver_fraction=0.1)
+        assert SupplyShock(at_hour=12.0, driver_delta=5).resolved_delta(100) == 5
+        assert SupplyShock(at_hour=12.0, driver_fraction=-0.25).resolved_delta(100) == -25
+
+    def test_slowdown_rejects_nonpositive_speed(self):
+        with pytest.raises(ValueError):
+            TravelSlowdown(speed_factor=0.0)
+
+    def test_migration_rejects_bad_fraction(self):
+        footprint = SpatialFootprint(0.0, 0.0, 0.5, 0.5)
+        other = SpatialFootprint(0.5, 0.5, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            HotspotMigration(1.0, 2.0, footprint, other, fraction=0.0)
+        with pytest.raises(ValueError):
+            HotspotMigration(1.0, 2.0, footprint, other, fraction=1.5)
+
+
+class TestScenarioSpec:
+    def test_spec_is_hashable_and_frozen(self):
+        spec = ScenarioSpec(name="x", events=(TravelSlowdown(speed_factor=0.8),))
+        assert hash(spec) == hash(spec)
+        with pytest.raises(AttributeError):
+            spec.name = "y"
+
+    def test_rejects_unknown_event_type(self):
+        with pytest.raises(TypeError):
+            ScenarioSpec(name="x", events=("not-an-event",))
+
+    def test_rejects_empty_name_and_bad_sizes(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="")
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", trip_count=0)
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", driver_count=0)
+
+    def test_with_scale_keeps_everything_else(self):
+        spec = ScenarioSpec(name="x", trip_count=500, driver_count=50, seed=3)
+        scaled = spec.with_scale(trip_count=100)
+        assert scaled.trip_count == 100
+        assert scaled.driver_count == 50
+        assert scaled.seed == 3
+        assert scaled.name == spec.name
+        reseeded = spec.with_seed(99)
+        assert reseeded.seed == 99
+        assert reseeded.trip_count == 500
+
+    def test_events_of_type_preserves_order(self):
+        first = DemandSurge(7.0, 9.0, 2.0)
+        second = DemandSurge(17.0, 19.0, 1.5)
+        spec = ScenarioSpec(
+            name="x", events=(first, TravelSlowdown(speed_factor=0.9), second)
+        )
+        assert spec.events_of_type(DemandSurge) == (first, second)
+        assert spec.events_of_type(ZoneClosure) == ()
+
+    def test_region_is_the_base_bounding_box(self):
+        spec = ScenarioSpec(name="x")
+        assert spec.region == spec.base.bounding_box

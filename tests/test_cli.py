@@ -220,3 +220,72 @@ class TestExperimentCommand:
         assert main(["experiment", "--figure", "fig6-9", "--scale", "tiny"]) == 0
         out = capsys.readouterr().out
         assert "Fig. 6" in out and "Fig. 9" in out
+
+
+class TestScenarioCommand:
+    def test_scenario_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["scenario", "list"])
+        assert args.scenario_command == "list"
+        args = parser.parse_args(
+            ["scenario", "run", "--name", "rainy-day", "--mode", "offline",
+             "--executor", "process", "--grid", "3x2", "--trips", "50"]
+        )
+        assert args.scenario_command == "run"
+        assert args.name == "rainy-day"
+        assert args.mode == "offline"
+        assert args.grid == "3x2"
+        args = parser.parse_args(
+            ["scenario", "compare", "--names", "rainy-day,driver-strike", "--no-stream"]
+        )
+        assert args.scenario_command == "compare"
+        assert args.stream is False
+
+    def test_scenario_list_names_every_builtin(self, capsys):
+        from repro.scenarios import scenario_names
+
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_scenario_run_offline_tiny(self, capsys):
+        assert (
+            main(
+                ["scenario", "run", "--name", "morning-surge", "--mode", "offline",
+                 "--trips", "40", "--drivers", "6"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "morning-surge" in out
+        assert "offline-greedy" in out
+        assert "serve_rate" in out
+
+    def test_scenario_run_streamed_tiny(self, capsys):
+        assert (
+            main(
+                ["scenario", "run", "--name", "downtown-closure", "--mode", "stream",
+                 "--trips", "40", "--drivers", "6", "--grid", "2x2"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stream-batched" in out
+        assert "mean wait" in out
+
+    def test_scenario_compare_tiny(self, capsys):
+        assert (
+            main(
+                ["scenario", "compare", "--names", "rainy-day,driver-strike",
+                 "--trips", "40", "--drivers", "6", "--no-stream"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "rainy-day" in out and "driver-strike" in out
+        assert "offline-greedy" in out
+
+    def test_experiment_scenarios_requires_figure_all(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "--figure", "fig3-4", "--scenarios", "all"])
