@@ -1,0 +1,99 @@
+"""Service soak — ~1M synthetic orders through the asyncio dispatch gateway.
+
+The dispatch service's claim is operational: orders arrive *one at a time*,
+continuously, for several cities at once, and the service holds latency
+while epochs rotate on warm per-city worker pools and every merged outcome
+stays bit-identical to an offline replay of the ingested batches (parity
+contract 15).  This benchmark is that claim under load:
+
+* ``test_service_soak_million`` floods ~1M orders (4 cities x 32 epochs x
+  ~7.8k orders) through one long-running service and records p50/p99
+  end-to-end dispatch latency (submit -> the order's batch fully appended on
+  its shard worker) in ``benchmarks/results/BENCH_service_soak.json``.
+  Epochs bound the per-stream task network (its maintenance cost grows with
+  stream length), so a million orders means many small merges on one
+  service — the intended operating regime.  Parity is verified on the first
+  epoch of every city (sampling keeps the replay from doubling the soak's
+  wall clock).
+* ``test_service_soak_smoke`` is the CI gate: a 2-worker process-pool soak,
+  parity verified on **every** epoch, and an explicit no-orphan assertion —
+  after teardown, zero child processes survive.  Artifact:
+  ``BENCH_service_soak_smoke.json``.
+
+Run the full soak explicitly (it is minutes, not seconds)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service_soak.py -k million
+
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from repro.service import SoakConfig, run_soak
+
+
+def _assert_soak_sound(report, expect_parity_epochs: int) -> None:
+    """The invariants every soak — full or smoke — must hold."""
+    payload = report.to_payload()
+    assert report.parity_ok, "parity contract 15 violated: service != replay"
+    assert report.parity_checked == expect_parity_epochs
+    assert payload["dispatch_latency"]["count"] == report.orders_submitted, (
+        "some orders never completed dispatch"
+    )
+    assert payload["dispatch_latency"]["p50_ms"] is not None
+    assert payload["dispatch_latency"]["p50_ms"] <= payload["dispatch_latency"]["p99_ms"]
+    assert report.orders_served > 0
+    assert payload["health"]["status"] == "ok"
+
+
+class TestServiceSoak:
+    def test_service_soak_million(self, save_json):
+        """~1M orders, serial per-city pools (honest on a 1-core box),
+        parity sampled on epoch 0 of every city."""
+        config = SoakConfig(
+            orders=1_000_000,
+            cities=4,
+            epochs=32,
+            drivers_per_city=24,
+            window_s=120.0,
+            epoch_span_s=14_400.0,
+            rows=2,
+            cols=2,
+            executor="serial",
+            backpressure_depth=8,
+            max_batch=512,
+            seed=2017,
+            parity_epochs=1,
+        )
+        report = run_soak(config)
+        _assert_soak_sound(report, expect_parity_epochs=config.cities)
+        save_json("service_soak", report.to_payload())
+
+    def test_service_soak_smoke(self, save_json):
+        """CI gate: 2-worker process pools, parity on every epoch, and no
+        child process survives teardown."""
+        config = SoakConfig(
+            orders=20_000,
+            cities=2,
+            epochs=2,
+            drivers_per_city=16,
+            window_s=120.0,
+            epoch_span_s=14_400.0,
+            rows=2,
+            cols=2,
+            executor="process",
+            workers=2,
+            backpressure_depth=8,
+            max_batch=512,
+            seed=2017,
+            parity_epochs=None,  # every epoch
+        )
+        report = run_soak(config)
+        _assert_soak_sound(
+            report, expect_parity_epochs=config.cities * config.epochs
+        )
+        assert multiprocessing.active_children() == [], (
+            "service teardown leaked worker processes"
+        )
+        save_json("service_soak_smoke", report.to_payload())

@@ -34,6 +34,7 @@ SMOKE_NAMES = (
     "BENCH_streaming_smoke",
     "BENCH_offline_pool_smoke",
     "BENCH_scenarios_smoke",
+    "BENCH_service_soak_smoke",
 )
 
 
@@ -121,13 +122,32 @@ def _row_smokes(artifacts: dict[str, dict]) -> list[str] | None:
     present = [name for name in SMOKE_NAMES if name in artifacts]
     if not present:
         return None
-    tasks = [artifacts[name]["task_count"] for name in present]
-    all_parity = all(artifacts[name]["solution_parity"] for name in present)
+    tasks = [
+        artifacts[name].get("task_count", artifacts[name].get("orders"))
+        for name in present
+    ]
+    all_parity = all(
+        artifacts[name].get("solution_parity", artifacts[name].get("parity_ok"))
+        for name in present
+    )
     label = " / ".join(f"`{name}.json`" for name in present)
     return [
         f"{label} — CI gates",
         f"{min(tasks)}–{max(tasks)} tasks, 2 workers",
         f"{_parity(all_parity)}; speedup ≥ 1 enforced on ≥ 2-core runners",
+    ]
+
+
+def _row_service_soak(d: dict) -> list[str]:
+    latency = d["dispatch_latency"]
+    return [
+        "`BENCH_service_soak.json` — asyncio dispatch service soak",
+        f"{d['orders']} orders, {d['cities']} cities × {d['epochs']} epochs, "
+        f"{d['grid']} grid, {d['executor']} pools",
+        f"{_parity(d['parity_ok'])} (service == replay over "
+        f"{d['parity_checked_epochs']} epochs), dispatch p50 "
+        f"**{latency['p50_ms']:.0f}ms** / p99 **{latency['p99_ms']:.0f}ms**, "
+        f"{d['orders_per_second']:.0f} orders/s",
     ]
 
 
@@ -137,6 +157,7 @@ ROW_BUILDERS = {
     "BENCH_streaming_shards": _row_streaming_shards,
     "BENCH_offline_pool": _row_offline_pool,
     "BENCH_scenarios": _row_scenarios,
+    "BENCH_service_soak": _row_service_soak,
 }
 
 

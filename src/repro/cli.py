@@ -24,6 +24,13 @@ Installed as the ``repro`` console script (also reachable as
     city days, ``scenario run`` compiles one and runs it offline or as a
     live sharded stream, ``scenario compare`` sweeps scenarios x dispatch
     modes on one warm worker pool and prints the metrics comparison.
+``serve``
+    Run the long-lived asyncio dispatch service against a synthetic
+    multi-city order flood (a soak): orders stream through the ingestion
+    gateway, epochs rotate on warm pools, and p50/p99 end-to-end dispatch
+    latency plus the parity-15 verdict are printed (and optionally written
+    as JSON).  Ctrl-C tears the service down cleanly — streams closed,
+    worker pools shut down — and exits 130.
 """
 
 from __future__ import annotations
@@ -216,6 +223,51 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_compare.add_argument(
         "--grid", default="2x2", metavar="RxC",
         help="shard grid over each scenario's service region",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the asyncio dispatch service against a synthetic order soak",
+    )
+    serve.add_argument(
+        "--orders", type=int, default=20_000,
+        help="total orders across all cities and epochs",
+    )
+    serve.add_argument("--cities", type=int, default=2, help="tenant city count")
+    serve.add_argument(
+        "--epochs", type=int, default=2,
+        help="stream rotations per city (bounds per-stream task-network size)",
+    )
+    serve.add_argument("--drivers", type=int, default=24, help="fleet size per city")
+    serve.add_argument(
+        "--executor", choices=sorted(EXECUTOR_POLICIES), default="serial",
+        help="per-city worker-pool policy",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, help="pool width per city (pooled policies)"
+    )
+    serve.add_argument(
+        "--grid", default="2x2", metavar="RxC", help="shard grid per city"
+    )
+    serve.add_argument(
+        "--window", type=float, default=120.0, help="dispatch-window length in seconds"
+    )
+    serve.add_argument(
+        "--backpressure", type=int, default=8,
+        help="max per-shard window-queue depth before ingestion pauses",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=512,
+        help="ship a window in slices of at most this many orders",
+    )
+    serve.add_argument("--seed", type=int, default=2017, help="soak synthesis seed")
+    serve.add_argument(
+        "--parity-epochs", type=int, default=1,
+        help="epochs per city to verify against the offline replay (-1 for all)",
+    )
+    serve.add_argument(
+        "--report-json", metavar="PATH",
+        help="also write the full soak report as JSON",
     )
 
     return parser
@@ -505,6 +557,75 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled scenario command {args.scenario_command!r}")
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the asyncio dispatch service under a synthetic soak.
+
+    The service owns one coordinator + one persistent worker pool per city;
+    teardown is unconditional (the service's async context manager closes
+    every stream and pool even on Ctrl-C, which exits 130 without orphaning
+    worker processes).
+    """
+    import json
+    import multiprocessing
+
+    from .service import SoakConfig, run_soak
+
+    rows, cols = _parse_grid(args.grid)
+    config = SoakConfig(
+        orders=args.orders,
+        cities=args.cities,
+        epochs=args.epochs,
+        drivers_per_city=args.drivers,
+        window_s=args.window,
+        rows=rows,
+        cols=cols,
+        executor=args.executor,
+        workers=args.workers,
+        backpressure_depth=args.backpressure,
+        max_batch=args.max_batch,
+        seed=args.seed,
+        parity_epochs=None if args.parity_epochs < 0 else args.parity_epochs,
+    )
+
+    def _announce(service) -> None:
+        workers = ",".join(
+            str(child.pid) for child in multiprocessing.active_children()
+        )
+        print(
+            f"SERVE_READY cities={args.cities} executor={args.executor} "
+            f"workers={workers or '-'}",
+            flush=True,
+        )
+
+    try:
+        report = run_soak(config, on_ready=_announce)
+    except KeyboardInterrupt:
+        print(
+            "interrupted — streams closed, worker pools shut down", file=sys.stderr
+        )
+        return 130
+    payload = report.to_payload()
+    latency = payload["dispatch_latency"]
+    print(
+        f"soak complete: {payload['orders']} orders, {args.cities} cities x "
+        f"{args.epochs} epochs, {payload['wall_clock_s']}s wall clock "
+        f"({payload['orders_per_second']} orders/s)"
+    )
+    print(
+        f"dispatch latency: p50 {latency['p50_ms']:.1f}ms, "
+        f"p99 {latency['p99_ms']:.1f}ms; serve rate {payload['serve_rate']:.3f}"
+    )
+    print(
+        f"parity (service == replay): {'ok' if payload['parity_ok'] else 'MISMATCH'} "
+        f"over {payload['parity_checked_epochs']} epoch(s)"
+    )
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"report written to {args.report_json}")
+    return 0 if payload["parity_ok"] else 1
+
+
 _COMMANDS = {
     "generate-trace": _cmd_generate_trace,
     "build-market": _cmd_build_market,
@@ -513,6 +634,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "experiment": _cmd_experiment,
     "scenario": _cmd_scenario,
+    "serve": _cmd_serve,
 }
 
 

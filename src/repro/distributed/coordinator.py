@@ -135,6 +135,7 @@ from .partition import (
 from .payload import ShardPayload, delta_from_tasks, instance_from_payload, payload_from_shard
 from .pool import (
     PersistentWorkerPool,
+    WorkerPoolBrokenError,
     _pool_append,
     _pool_discard,
     _pool_finish,
@@ -266,6 +267,27 @@ class _StreamShard:
     global_indices: List[int] = field(default_factory=list)
 
 
+@dataclass(frozen=True, slots=True)
+class PendingAppend:
+    """One in-flight worker-side append, returned by
+    :meth:`DistributedStreamSession.append_batch`.
+
+    The ``future`` is a future-alike (``done()`` / ``result()``); awaiting it
+    — directly, or via :meth:`DistributedStreamSession.wait_pending` from an
+    event loop — observes the moment the shard's worker has consumed the
+    delta and dispatched every window the watermark closed.  This is the
+    awaitable hook the async dispatch service builds its append-latency and
+    backpressure accounting on.
+    """
+
+    shard_id: int
+    future: object
+
+    def done(self) -> bool:
+        done = getattr(self.future, "done", None)
+        return True if done is None else bool(done())
+
+
 @dataclass(frozen=True)
 class DistributedStreamResult:
     """The merged streamed solution plus the stream report."""
@@ -287,6 +309,20 @@ class DistributedStreamSession:
     :meth:`finish` to drain the shards and merge.  Appends are asynchronous
     under the pooled policies: the coordinator keeps routing and building
     deltas while workers run their Hungarian windows.
+
+    Lifecycle
+    ---------
+
+    The session is a context manager, and ``with`` is the recommended way to
+    hold one: the worker-side :class:`~repro.distributed.pool.ShardStreamSession`
+    state lives inside a **persistent** pool, so a stream that is opened and
+    then abandoned — an exception between appends, an interrupted caller, a
+    service shutting down — would otherwise leak its sessions into every
+    later stream on the same warm workers.  ``__exit__`` calls :meth:`close`,
+    which discards the worker-resident sessions without merging; after a
+    successful :meth:`finish` it is a no-op (the workers already popped
+    their sessions while draining).  ``close`` is idempotent and is also
+    safe on a pool that has died or been closed underneath the stream.
     """
 
     def __init__(
@@ -315,9 +351,10 @@ class DistributedStreamSession:
         self._tasks: List[Task] = []  # global task list, in arrival order
         self._task_shard: List[int] = []  # global index -> owning shard id
         self._batch_ranges: List[Tuple[int, int]] = []  # per batch: [start, end)
-        self._inflight: List = []
+        self._inflight: List[PendingAppend] = []
         self._rebalances = 0
         self._finished = False
+        self._closed = False
         self._next_shard_id = 0
         self._slot_counter = 0
 
@@ -334,6 +371,28 @@ class DistributedStreamSession:
     # ------------------------------------------------------------------
     # shard lifecycle
     # ------------------------------------------------------------------
+    def _submit(self, shard_id: int, slot: int, fn, *args) -> PendingAppend:
+        """Submit one worker call, tagging the returned future with its shard
+        so failures can name the shard — a dead worker surfaces as a
+        :class:`WorkerPoolBrokenError` naming both the shard and the slot."""
+        try:
+            future = self._pool.submit(slot, fn, *args)
+        except WorkerPoolBrokenError as exc:
+            raise self._shard_broken(shard_id, exc) from exc
+        return PendingAppend(shard_id=shard_id, future=future)
+
+    def _shard_broken(
+        self, shard_id: int, exc: WorkerPoolBrokenError
+    ) -> WorkerPoolBrokenError:
+        """Annotate a pool-level worker death with the shard it hit and mark
+        the stream unusable (the pool is already closed by this point)."""
+        self._finished = True
+        self._closed = True
+        self._inflight = []
+        return WorkerPoolBrokenError(
+            f"stream lost shard {shard_id}: {exc}", slot=exc.slot
+        )
+
     def _new_shard(
         self, boxes: Tuple[BoundingBox, ...], drivers: Tuple[Driver, ...]
     ) -> _StreamShard:
@@ -343,8 +402,8 @@ class DistributedStreamSession:
             slot = self._slot_counter % self._pool.worker_count
             self._slot_counter += 1
             self._inflight.append(
-                self._pool.submit(
-                    slot, _pool_open, self._token, shard_id, drivers,
+                self._submit(
+                    shard_id, slot, _pool_open, self._token, shard_id, drivers,
                     self._cost_model, self._config,
                 )
             )
@@ -365,27 +424,92 @@ class DistributedStreamSession:
     def shard_task_counts(self) -> Tuple[int, ...]:
         return tuple(len(shard.global_indices) for shard in self._shards)
 
+    @property
+    def closed(self) -> bool:
+        """Whether the stream can no longer accept appends (finished, closed
+        or torn down after a failure)."""
+        return self._finished or self._closed
+
+    def pending_counts(self) -> Dict[int, int]:
+        """Not-yet-completed worker appends per shard id.
+
+        The live window-queue depth of each shard: how many deltas its pinned
+        worker has accepted but not finished dispatching.  The dispatch
+        service's backpressure triggers on the max over shards; under the
+        serial policy appends complete inline, so every count is 0.
+        """
+        counts: Dict[int, int] = {}
+        for pending in self._inflight:
+            if not pending.done():
+                counts[pending.shard_id] = counts.get(pending.shard_id, 0) + 1
+        return counts
+
+    async def wait_pending(self) -> None:
+        """Await every in-flight worker append without blocking the event
+        loop (the awaitable-windows hook: an asyncio caller can overlap its
+        own work — routing the next batch, serving health probes — with the
+        workers' window solves, then await the barrier).
+
+        Failures propagate exactly as from :meth:`append_batch`'s eager
+        check: the stream is torn down (worker sessions discarded) and the
+        original error is re-raised, with worker deaths named per shard.
+        """
+        import asyncio
+        from concurrent.futures import Future as _CFuture
+
+        inflight, self._inflight = self._inflight, []
+        try:
+            for pending in inflight:
+                future = pending.future
+                raw = getattr(future, "raw", future)
+                if isinstance(raw, _CFuture) and not raw.done():
+                    try:
+                        await asyncio.wrap_future(raw)
+                    except Exception:
+                        pass  # re-read below so worker death is translated
+                # Collect through the wrapper so worker death is translated.
+                try:
+                    future.result()
+                except WorkerPoolBrokenError as exc:
+                    raise self._shard_broken(pending.shard_id, exc) from exc
+        except BaseException:
+            self.close()
+            raise
+
     def _raise_failed(self) -> None:
         """Surface any already-failed async append/open without blocking,
         pruning completed futures so the in-flight list stays bounded by the
         work actually outstanding."""
-        pending = []
+        pending: List[PendingAppend] = []
         try:
-            for future in self._inflight:
-                done = getattr(future, "done", None)
-                if done is None or done():
-                    future.result()
+            for entry in self._inflight:
+                if entry.done():
+                    try:
+                        entry.future.result()
+                    except WorkerPoolBrokenError as exc:
+                        raise self._shard_broken(entry.shard_id, exc) from exc
                 else:
-                    pending.append(future)
+                    pending.append(entry)
         except BaseException:
-            self._abort()
+            self.close()
             raise
         self._inflight = pending
 
-    def _abort(self) -> None:
-        """Best-effort teardown after a failure: drop every worker-resident
-        session so an abandoned stream cannot leak state into a long-lived
-        pool, and mark the stream unusable."""
+    def close(self) -> None:
+        """Discard the worker-resident shard sessions without merging.
+
+        The abandoned-stream teardown: idempotent, safe after :meth:`finish`
+        (by then the workers have already popped their sessions) and safe on
+        a pool that has been closed or broken underneath the stream.  Every
+        error path — and any ``with`` exit — must land here, or a persistent
+        pool accumulates dead sessions for its whole lifetime.
+        """
+        if self._closed or self._finished:
+            self._closed = True
+            self._finished = True
+            self._inflight = []
+            return
+        self._closed = True
         self._finished = True
         self._inflight = []
         for shard in self._shards:
@@ -395,30 +519,43 @@ class DistributedStreamSession:
                         shard.slot, _pool_discard, self._token, shard.shard_id
                     )
                 except BaseException:
+                    # A closed/broken pool has no sessions left to discard.
                     pass
+
+    def __enter__(self) -> "DistributedStreamSession":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # streaming
     # ------------------------------------------------------------------
-    def append_batch(self, tasks: Iterable[Task]) -> None:
+    def append_batch(self, tasks: Iterable[Task]) -> Tuple[PendingAppend, ...]:
         """Route one publish-ordered arrival batch to its shards.
 
         Under the pooled policies this returns as soon as the per-shard
         deltas are queued; the workers' window dispatches overlap with the
-        next batch's routing.
+        next batch's routing.  Returns this batch's in-flight worker appends
+        (one :class:`PendingAppend` per shard the batch touched) — await or
+        poll them to observe per-shard append completion; ignoring the
+        return value keeps the historical fire-and-forget behaviour.
         """
-        if self._finished:
+        if self.closed:
             raise RuntimeError("stream already finished")
         batch = tuple(tasks)
         if not batch:
-            return
+            return ()
         self._raise_failed()
         start = len(self._tasks)
+        before = len(self._inflight)
         routed = self._route_and_dispatch(batch, start)
+        shipped = tuple(self._inflight[before:])
         self._tasks.extend(batch)
         self._task_shard.extend(routed)
         self._batch_ranges.append((start, start + len(batch)))
         self._maybe_rebalance()
+        return shipped
 
     def _route_and_dispatch(self, batch: Tuple[Task, ...], start: int) -> List[int]:
         """Route a batch over the current shards, ship the per-shard deltas,
@@ -442,7 +579,7 @@ class DistributedStreamSession:
             return
         delta = delta_from_tasks(shard.shard_id, [task for _g, task in members])
         self._inflight.append(
-            self._pool.submit(shard.slot, _pool_append, self._token, shard.shard_id, delta)
+            self._submit(shard.shard_id, shard.slot, _pool_append, self._token, shard.shard_id, delta)
         )
 
     # ------------------------------------------------------------------
@@ -484,7 +621,7 @@ class DistributedStreamSession:
         for shard in removed:
             if shard.drivers:
                 self._inflight.append(
-                    self._pool.submit(shard.slot, _pool_discard, self._token, shard.shard_id)
+                    self._submit(shard.shard_id, shard.slot, _pool_discard, self._token, shard.shard_id)
                 )
 
         # Re-route the affected drivers (kept in fleet order, exactly as a
@@ -541,11 +678,14 @@ class DistributedStreamSession:
     # ------------------------------------------------------------------
     def finish(self) -> DistributedStreamResult:
         """Drain every shard, settle the drivers and merge the results."""
-        if self._finished:
+        if self.closed:
             raise RuntimeError("stream already finished")
         try:
-            for future in self._inflight:
-                future.result()
+            for pending in self._inflight:
+                try:
+                    pending.future.result()
+                except WorkerPoolBrokenError as exc:
+                    raise self._shard_broken(pending.shard_id, exc) from exc
             self._inflight = []
 
             results: Dict[int, Optional[ShardStreamResult]] = {}
@@ -553,15 +693,18 @@ class DistributedStreamSession:
             for shard in self._shards:
                 if shard.drivers:
                     futures.append(
-                        (shard, self._pool.submit(shard.slot, _pool_finish, self._token, shard.shard_id))
+                        (shard, self._submit(shard.shard_id, shard.slot, _pool_finish, self._token, shard.shard_id))
                     )
                 else:
                     results[shard.shard_id] = None
-            for shard, future in futures:
-                results[shard.shard_id] = future.result()
+            for shard, pending in futures:
+                try:
+                    results[shard.shard_id] = pending.future.result()
+                except WorkerPoolBrokenError as exc:
+                    raise self._shard_broken(shard.shard_id, exc) from exc
         except BaseException:
             # Leave no orphaned sessions behind in the (persistent) workers.
-            self._abort()
+            self.close()
             raise
         self._finished = True
 
@@ -773,17 +916,20 @@ class DistributedCoordinator:
         chosen_config = config or BatchConfig()
         if arrival_batches is None:
             arrival_batches = stream_schedule(instance.tasks, chosen_config.window_s)
-        session = self.open_stream(
+        # The ``with`` guarantees worker-side sessions are discarded when any
+        # append or the merge fails — a failed solve must not leak state into
+        # the persistent pool's workers.
+        with self.open_stream(
             instance.drivers,
             instance.cost_model,
             config=chosen_config,
             regions=regions,
             rebalance=rebalance,
             pool=pool,
-        )
-        for batch in arrival_batches:
-            session.append_batch(batch)
-        return session.finish()
+        ) as session:
+            for batch in arrival_batches:
+                session.append_batch(batch)
+            return session.finish()
 
     def solve(
         self,

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import itertools
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..market.cost import MarketCostModel
@@ -56,6 +56,24 @@ from .payload import ShardPayloadDelta, tasks_from_delta
 
 #: Executor policies accepted by the pool (mirrors the coordinator's).
 POOL_POLICIES = ("serial", "thread", "process")
+
+
+class WorkerPoolBrokenError(RuntimeError):
+    """A slot's worker died (OOM-kill, ``os._exit``, crash) and the pool shut
+    itself down.
+
+    Raised instead of the opaque :class:`concurrent.futures.BrokenExecutor`
+    a dead ``ProcessPoolExecutor`` produces: the message names the slot (and,
+    when the failing call is a stream append, the coordinator re-raises with
+    the shard id), and by the time the caller sees it the pool is already
+    **closed** — every other slot has been shut down with its queued work
+    cancelled — so a crash can never leave a half-poisoned pool accepting
+    new submissions on the surviving slots.
+    """
+
+    def __init__(self, message: str, *, slot: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.slot = slot
 
 
 class ShardStreamSession:
@@ -160,6 +178,16 @@ def _pool_discard(token: int, shard_id: int) -> None:
     _SESSIONS.pop((token, shard_id), None)
 
 
+def _pool_session_count() -> int:
+    """How many stream sessions are resident in *this* process.
+
+    A lifecycle probe (submit it to a slot to count that worker's resident
+    sessions): abandoned-stream regression tests use it to assert that
+    ``close()``/``__exit__`` really did discard worker-side state.
+    """
+    return len(_SESSIONS)
+
+
 # ----------------------------------------------------------------------
 # slot placement
 # ----------------------------------------------------------------------
@@ -203,10 +231,60 @@ class _ImmediateFuture:
         self._result = result
         self._exception = exception
 
+    def done(self) -> bool:
+        return True
+
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
     def result(self):
         if self._exception is not None:
             raise self._exception
         return self._result
+
+
+class _SlotFuture:
+    """A slot executor's future, with worker death translated on the way out.
+
+    Delegates to the wrapped :class:`concurrent.futures.Future`; when the
+    result is a :class:`BrokenExecutor` (the worker process died mid-call),
+    the pool is torn down and the caller gets a :class:`WorkerPoolBrokenError`
+    naming the slot instead of the executor's context-free crash.
+    """
+
+    __slots__ = ("_pool", "_slot", "_future")
+
+    def __init__(self, pool: "PersistentWorkerPool", slot: int, future) -> None:
+        self._pool = pool
+        self._slot = slot
+        self._future = future
+
+    @property
+    def raw(self):
+        """The underlying :class:`concurrent.futures.Future` (for
+        ``asyncio.wrap_future`` interop; errors read through it are *not*
+        translated — prefer :meth:`result`)."""
+        return self._future
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def cancel(self) -> bool:
+        return self._future.cancel()
+
+    def add_done_callback(self, fn) -> None:
+        self._future.add_done_callback(lambda _f: fn(self))
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The call's exception, untranslated (observability only — use
+        :meth:`result` to get worker deaths translated and the pool closed)."""
+        return self._future.exception(timeout)
+
+    def result(self, timeout: Optional[float] = None):
+        try:
+            return self._future.result(timeout)
+        except BrokenExecutor as exc:
+            raise self._pool._mark_broken(self._slot, exc) from exc
 
 
 class PersistentWorkerPool:
@@ -260,6 +338,7 @@ class PersistentWorkerPool:
             self.worker_count = max(1, worker_count or os.cpu_count() or 1)
         self._slots: List[Optional[Executor]] = [None] * self.worker_count
         self._closed = False
+        self._broken: Optional[WorkerPoolBrokenError] = None
 
     def _slot_executor(self, slot: int) -> Executor:
         pool = self._slots[slot]
@@ -271,12 +350,39 @@ class PersistentWorkerPool:
             self._slots[slot] = pool
         return pool
 
+    @property
+    def broken(self) -> bool:
+        """Whether a worker death has torn the pool down."""
+        return self._broken is not None
+
+    def _mark_broken(self, slot: int, cause: BaseException) -> WorkerPoolBrokenError:
+        """Record a dead worker and tear the whole pool down.
+
+        Every slot is shut down with its queued work cancelled, so the crash
+        of one worker can never leave the pool half-poisoned — alive on some
+        slots, broken on others.  Returns (does not raise) the diagnostic
+        error so callers can chain it onto the executor's own exception.
+        """
+        if self._broken is None:
+            self._broken = WorkerPoolBrokenError(
+                f"worker slot {slot}/{self.worker_count} of this {self.executor!r} "
+                f"pool died mid-call ({type(cause).__name__}: {cause}); the pool "
+                "has been closed — open a fresh pool to continue",
+                slot=slot,
+            )
+            self.close(cancel_pending=True)
+        return self._broken
+
     def submit(self, slot: int, fn, /, *args):
         """Run ``fn(*args)`` on a slot (inline under the serial policy).
 
         Returns a future; calls submitted to the same slot execute in order,
-        in the same thread/process.
+        in the same thread/process.  If the slot's worker has died, raises
+        :class:`WorkerPoolBrokenError` naming the slot (and closes the pool)
+        instead of the executor's bare :class:`BrokenExecutor`.
         """
+        if self._broken is not None:
+            raise self._broken
         if self._closed:
             raise RuntimeError("pool is closed")
         slot %= self.worker_count
@@ -285,15 +391,27 @@ class PersistentWorkerPool:
                 return _ImmediateFuture(result=fn(*args))
             except BaseException as exc:  # surfaced via .result(), like a Future
                 return _ImmediateFuture(exception=exc)
-        return self._slot_executor(slot).submit(fn, *args)
+        try:
+            future = self._slot_executor(slot).submit(fn, *args)
+        except BrokenExecutor as exc:
+            raise self._mark_broken(slot, exc) from exc
+        return _SlotFuture(self, slot, future)
 
-    def close(self) -> None:
-        """Shut every slot executor down (idempotent)."""
+    def close(self, cancel_pending: bool = True) -> None:
+        """Shut every slot executor down (idempotent).
+
+        ``cancel_pending`` (default) drops work that is queued but not yet
+        running, so teardown — a Ctrl-C, an error-path ``with`` exit, a
+        broken-worker shutdown — returns as soon as the in-flight call
+        finishes instead of draining the whole backlog first.  Pass
+        ``cancel_pending=False`` to wait for every queued call (only sound
+        when the caller has already collected all its futures).
+        """
         self._closed = True
-        for pool in self._slots:
+        slots, self._slots = self._slots, [None] * self.worker_count
+        for pool in slots:
             if pool is not None:
-                pool.shutdown(wait=True)
-        self._slots = [None] * self.worker_count
+                pool.shutdown(wait=True, cancel_futures=cancel_pending)
 
     def __enter__(self) -> "PersistentWorkerPool":
         return self

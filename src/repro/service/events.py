@@ -1,0 +1,56 @@
+"""Order events and per-order receipts.
+
+The gateway's unit of ingestion is one :class:`OrderEvent` — a task bound
+for one city's stream.  Submitting an event returns an :class:`OrderReceipt`
+immediately; the receipt is *completed* (stamped with a completion time)
+once the shard worker that owns the order has consumed the batch carrying
+it and dispatched every window the watermark closed.  The receipt's
+:attr:`~OrderReceipt.latency_s` is therefore the honest end-to-end dispatch
+latency: queue wait + batching wait + routing + worker append, measured on
+one monotonic clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..market.task import Task
+
+
+@dataclass(frozen=True, slots=True)
+class OrderEvent:
+    """One order bound for one city's stream, as the gateway queue sees it."""
+
+    city: str
+    task: Task
+    #: The receipt handed back to the submitter at enqueue time; the ingest
+    #: loop completes it when the order's batch finishes dispatching.
+    receipt: "OrderReceipt"
+
+
+@dataclass(slots=True)
+class OrderReceipt:
+    """The submitter's handle on one ingested order.
+
+    ``submitted_s`` is stamped (``time.perf_counter``) when the order enters
+    the gateway queue; ``completed_s`` when its batch's last in-flight worker
+    append resolves.  ``completed_s is None`` means the order is still queued,
+    batching, or in flight — or was dropped by a teardown before dispatch.
+    """
+
+    city: str
+    task_id: str
+    submitted_s: float
+    completed_s: Optional[float] = field(default=None)
+
+    @property
+    def done(self) -> bool:
+        return self.completed_s is not None
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """End-to-end dispatch latency in seconds (``None`` while in flight)."""
+        if self.completed_s is None:
+            return None
+        return self.completed_s - self.submitted_s

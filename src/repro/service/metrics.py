@@ -1,0 +1,97 @@
+"""Service metrics: latency distributions and per-city counters.
+
+The soak benchmark's headline numbers (p50/p99 end-to-end dispatch latency)
+and the gateway's health endpoint both read from here.  Percentiles are
+computed on demand with NumPy over the raw samples — a soak keeps one float
+per order, which at the ~1M-order scale is a few megabytes, cheap enough
+that no streaming quantile sketch is warranted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+class LatencyRecorder:
+    """An append-only latency sample set with on-demand percentiles."""
+
+    __slots__ = ("_samples",)
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(float(seconds))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def percentile_ms(self, q: float) -> Optional[float]:
+        """The ``q``-th percentile in milliseconds (``None`` when empty)."""
+        if not self._samples:
+            return None
+        return float(np.percentile(np.asarray(self._samples), q)) * 1000.0
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        """``{count, p50_ms, p99_ms, mean_ms, max_ms}`` for reports/health."""
+        if not self._samples:
+            return {"count": 0, "p50_ms": None, "p99_ms": None, "mean_ms": None, "max_ms": None}
+        data = np.asarray(self._samples)
+        return {
+            "count": int(data.size),
+            "p50_ms": float(np.percentile(data, 50)) * 1000.0,
+            "p99_ms": float(np.percentile(data, 99)) * 1000.0,
+            "mean_ms": float(data.mean()) * 1000.0,
+            "max_ms": float(data.max()) * 1000.0,
+        }
+
+
+@dataclass
+class CityMetrics:
+    """One city's live counters, read by :meth:`DispatchService.health`."""
+
+    #: Orders accepted into the city's stream (across all epochs).
+    orders: int = 0
+    #: Batches shipped to the city's shard sessions.
+    batches: int = 0
+    #: Completed epochs (stream rotations).
+    epochs: int = 0
+    #: Times the gateway paused ingestion to let the shard queues drain.
+    backpressure_events: int = 0
+    #: Orders served / orders ingested, accumulated over finished epochs.
+    served: int = 0
+    #: End-to-end dispatch latency: submit -> batch fully appended.
+    dispatch: LatencyRecorder = field(default_factory=LatencyRecorder)
+    #: Ship -> append-complete latency per shard id.
+    per_shard_append: Dict[int, LatencyRecorder] = field(default_factory=dict)
+
+    def record_append(self, shard_id: int, seconds: float) -> None:
+        recorder = self.per_shard_append.get(shard_id)
+        if recorder is None:
+            recorder = self.per_shard_append[shard_id] = LatencyRecorder()
+        recorder.record(seconds)
+
+    @property
+    def serve_rate(self) -> Optional[float]:
+        """Across finished epochs (``None`` before the first finish)."""
+        if self.orders == 0 or self.epochs == 0:
+            return None
+        return self.served / self.orders
+
+    def snapshot(self) -> Dict[str, object]:
+        """The city's health-endpoint block (JSON-serialisable)."""
+        return {
+            "orders": self.orders,
+            "batches": self.batches,
+            "epochs": self.epochs,
+            "backpressure_events": self.backpressure_events,
+            "serve_rate": self.serve_rate,
+            "dispatch_latency": self.dispatch.summary(),
+            "append_latency_per_shard": {
+                str(shard_id): recorder.summary()
+                for shard_id, recorder in sorted(self.per_shard_append.items())
+            },
+        }

@@ -1,0 +1,223 @@
+"""Stream-lifecycle edge cases: abandonment, worker death, teardown.
+
+The streaming engine's happy path is pinned by ``test_stream.py``; this file
+pins the *unhappy* paths the dispatch service leans on:
+
+* an abandoned stream (opened, maybe appended to, never finished) must not
+  leak worker-resident ``ShardStreamSession`` state into the persistent
+  pool — ``close()`` / the context manager discards it on every error path;
+* a worker death mid-stream surfaces as a diagnostic
+  ``WorkerPoolBrokenError`` naming the slot (pool level) and the shard
+  (stream level), with the whole pool left *closed*, never half-poisoned;
+* pool teardown with queued work cancels the backlog instead of draining it
+  (the Ctrl-C path must return promptly).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.distributed import (
+    DistributedCoordinator,
+    PersistentWorkerPool,
+    SpatialPartitioner,
+    WorkerPoolBrokenError,
+)
+from repro.distributed.pool import _SESSIONS, _pool_session_count
+from repro.geo import PORTO
+from repro.online.batch import BatchConfig, window_batches
+
+from ..conftest import build_random_instance
+
+WINDOW_S = 600.0
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return build_random_instance(task_count=40, driver_count=10, seed=21)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return BatchConfig(window_s=WINDOW_S)
+
+
+def open_with_batches(coordinator, instance, config, batches=1):
+    session = coordinator.open_stream(
+        instance.drivers, instance.cost_model, config=config
+    )
+    for batch in window_batches(instance.tasks, config.window_s)[:batches]:
+        session.append_batch(batch)
+    return session
+
+
+class TestAbandonedStreams:
+    """Satellite 1: ``close()`` discards worker-side sessions."""
+
+    def test_close_discards_inproc_sessions(self, instance, config):
+        with DistributedCoordinator(
+            SpatialPartitioner(PORTO, 2, 2), executor="serial"
+        ) as coordinator:
+            before = len(_SESSIONS)
+            session = open_with_batches(coordinator, instance, config)
+            assert len(_SESSIONS) > before  # sessions are resident
+            session.close()
+            assert len(_SESSIONS) == before
+            assert session.closed
+
+    def test_context_manager_discards_on_error(self, instance, config):
+        before = len(_SESSIONS)
+        with DistributedCoordinator(
+            SpatialPartitioner(PORTO, 2, 2), executor="serial"
+        ) as coordinator:
+            with pytest.raises(RuntimeError, match="boom"):
+                with coordinator.open_stream(
+                    instance.drivers, instance.cost_model, config=config
+                ) as session:
+                    session.append_batch(instance.tasks[:4])
+                    raise RuntimeError("boom")
+        assert len(_SESSIONS) == before
+        assert session.closed
+
+    def test_close_is_idempotent_and_finish_after_close_raises(self, instance, config):
+        with DistributedCoordinator(
+            SpatialPartitioner(PORTO, 1, 1), executor="serial"
+        ) as coordinator:
+            session = open_with_batches(coordinator, instance, config)
+            session.close()
+            session.close()
+            with pytest.raises(RuntimeError):
+                session.finish()
+            with pytest.raises(RuntimeError):
+                session.append_batch(instance.tasks[:1])
+
+    def test_close_after_finish_is_noop(self, instance, config):
+        with DistributedCoordinator(
+            SpatialPartitioner(PORTO, 1, 1), executor="serial"
+        ) as coordinator:
+            with coordinator.open_stream(
+                instance.drivers, instance.cost_model, config=config
+            ) as session:
+                for batch in window_batches(instance.tasks, config.window_s):
+                    session.append_batch(batch)
+                result = session.finish()
+        assert result.report.batch_count > 0
+        assert len(_SESSIONS) == 0
+
+    def test_abandoned_stream_then_new_stream_on_same_pool(self, instance, config):
+        """The pool survives an abandoned stream, and the next stream on the
+        same warm workers is unaffected (bit-identical to a fresh solve)."""
+        from .test_stream import stream_fingerprint
+
+        with DistributedCoordinator(
+            SpatialPartitioner(PORTO, 2, 2), executor="process", max_workers=2
+        ) as coordinator:
+            abandoned = open_with_batches(coordinator, instance, config)
+            pool = coordinator._stream_pool
+            abandoned.close()
+            # Worker-side registries really are empty again on every slot.
+            for slot in range(pool.worker_count):
+                assert pool.submit(slot, _pool_session_count).result() == 0
+            fresh = coordinator.solve_stream(instance, config=config)
+            assert coordinator._stream_pool is pool  # same warm pool
+        with DistributedCoordinator(
+            SpatialPartitioner(PORTO, 2, 2), executor="serial"
+        ) as reference:
+            expected = reference.solve_stream(instance, config=config)
+        assert stream_fingerprint(fresh) == stream_fingerprint(expected)
+
+    def test_worker_registry_empty_after_abandon_on_thread_pool(self, instance, config):
+        with DistributedCoordinator(
+            SpatialPartitioner(PORTO, 2, 2), executor="thread", max_workers=2
+        ) as coordinator:
+            session = open_with_batches(coordinator, instance, config)
+            pool = coordinator._stream_pool
+            session.close()
+            # Threads share one registry: barrier every slot (per-slot
+            # submission order puts the barrier after the discards), then
+            # the shared in-process count must be back to zero.
+            for slot in range(pool.worker_count):
+                pool.submit(slot, int).result()
+            assert pool.submit(0, _pool_session_count).result() == 0
+
+    def test_pool_close_with_stream_still_open(self, instance, config):
+        """Closing the pool under a live stream: the stream's own close()
+        must still be safe (nothing to discard into a dead pool)."""
+        coordinator = DistributedCoordinator(
+            SpatialPartitioner(PORTO, 2, 2), executor="thread", max_workers=2
+        )
+        session = open_with_batches(coordinator, instance, config)
+        coordinator.close()  # pool gone, stream still open
+        session.close()  # must not raise
+        assert session.closed
+        with pytest.raises(RuntimeError):
+            session.append_batch(instance.tasks[:1])
+
+
+class TestBrokenWorkers:
+    """Satellite 2: worker death -> diagnostic error, pool safely closed."""
+
+    def test_pool_submit_after_death_names_slot(self):
+        with PersistentWorkerPool(executor="process", worker_count=2) as pool:
+            doomed = pool.submit(1, os._exit, 13)
+            with pytest.raises(WorkerPoolBrokenError, match="slot 1/2"):
+                doomed.result()
+            assert pool.broken
+            # The whole pool is closed — the surviving slot refuses too,
+            # with the same diagnostic (not a bare "pool is closed").
+            with pytest.raises(WorkerPoolBrokenError, match="died mid-call"):
+                pool.submit(0, os.getpid)
+
+    def test_stream_append_after_worker_death_names_shard(self, instance, config):
+        with DistributedCoordinator(
+            SpatialPartitioner(PORTO, 1, 1), executor="process", max_workers=1
+        ) as coordinator:
+            session = open_with_batches(coordinator, instance, config)
+            pool = coordinator._stream_pool
+            # Kill the worker the shard is pinned to, mid-stream.
+            pool.submit(0, os._exit, 1)
+            batches = window_batches(instance.tasks, config.window_s)
+            with pytest.raises(WorkerPoolBrokenError, match="lost shard"):
+                session.append_batch(batches[1])
+                session.finish()
+            assert session.closed
+            assert pool.broken
+            # A fresh stream on the coordinator reports the breakage too
+            # rather than hanging or re-forking silently.
+            with pytest.raises(WorkerPoolBrokenError):
+                coordinator.solve_stream(instance, config=config, pool=pool)
+
+    def test_serial_and_thread_pools_never_break(self, instance, config):
+        """In-process policies have no worker to lose; a failing call
+        surfaces as its own exception without closing the pool."""
+        with PersistentWorkerPool(executor="thread", worker_count=1) as pool:
+            future = pool.submit(0, int, "not-a-number")
+            with pytest.raises(ValueError):
+                future.result()
+            assert not pool.broken
+            assert pool.submit(0, os.getpid).result() == os.getpid()
+
+
+class TestTeardownCancelsBacklog:
+    """Satellite 3: teardown cancels queued work instead of draining it."""
+
+    def test_close_cancels_queued_not_started_work(self):
+        pool = PersistentWorkerPool(executor="thread", worker_count=1)
+        try:
+            futures = [pool.submit(0, time.sleep, 0.3) for _ in range(5)]
+            start = time.perf_counter()
+        finally:
+            pool.close()
+        elapsed = time.perf_counter() - start
+        # Draining the backlog would take ~1.5s; cancelling waits only for
+        # the in-flight call (one sleep plus slack).
+        assert elapsed < 1.0, f"close() drained the backlog ({elapsed:.2f}s)"
+        states = [future.raw.cancelled() for future in futures]
+        assert any(states), "no queued future was cancelled"
+
+    def test_close_can_still_drain_when_asked(self):
+        pool = PersistentWorkerPool(executor="thread", worker_count=1)
+        futures = [pool.submit(0, time.sleep, 0.05) for _ in range(3)]
+        pool.close(cancel_pending=False)
+        assert all(future.result() is None for future in futures)

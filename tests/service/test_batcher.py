@@ -1,0 +1,99 @@
+"""The window batcher: publish-ordered cuts, max-batch slicing, watermark."""
+
+import pytest
+
+from repro.service import WindowBatcher
+
+from ..conftest import build_random_instance
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    instance = build_random_instance(task_count=40, driver_count=8, seed=9)
+    return sorted(instance.tasks, key=lambda t: t.publish_ts)
+
+
+WINDOW_S = 600.0
+
+
+def drain(batcher, tasks):
+    batches = []
+    for task in tasks:
+        closed = batcher.push(task)
+        if closed is not None:
+            batches.append(closed)
+    final = batcher.flush()
+    if final is not None:
+        batches.append(final)
+    return batches
+
+
+class TestWindowCuts:
+    def test_batches_partition_the_stream_in_order(self, tasks):
+        batches = drain(WindowBatcher(WINDOW_S), tasks)
+        flat = [task for batch in batches for task in batch]
+        assert flat == list(tasks)
+        assert all(batch for batch in batches)
+
+    def test_cuts_happen_at_window_boundaries(self, tasks):
+        """Every cut batch spans one dispatch window (no max_batch)."""
+        batches = drain(WindowBatcher(WINDOW_S), tasks)
+        anchor = tasks[0].publish_ts
+        for batch in batches:
+            slots = {int((t.publish_ts - anchor) // WINDOW_S) for t in batch}
+            assert len(slots) == 1
+
+    def test_matches_stream_schedule_boundaries(self, tasks):
+        """Per-window cuts reproduce ``stream_schedule``'s batches exactly
+        when the anchor coincides (first task publishable)."""
+        from repro.online.batch import stream_schedule
+
+        assert tasks[0].is_publishable
+        batches = drain(WindowBatcher(WINDOW_S), tasks)
+        expected = stream_schedule(tasks, WINDOW_S)
+        assert [list(batch) for batch in batches] == expected
+
+    def test_max_batch_slices_a_flooded_window(self, tasks):
+        batcher = WindowBatcher(WINDOW_S, max_batch=3)
+        batches = drain(batcher, tasks)
+        assert all(len(batch) <= 3 for batch in batches)
+        flat = [task for batch in batches for task in batch]
+        assert flat == list(tasks)
+
+    def test_counters(self, tasks):
+        batcher = WindowBatcher(WINDOW_S)
+        for task in tasks[:5]:
+            batcher.push(task)
+        assert batcher.pushed == 5
+        assert batcher.pending <= 5
+
+
+class TestWatermarkViolations:
+    def test_late_order_raises(self, tasks):
+        batcher = WindowBatcher(WINDOW_S)
+        late, rest = tasks[0], tasks[1:]
+        for task in rest:
+            batcher.push(task)
+        with pytest.raises(ValueError, match="publish order"):
+            batcher.push(late)
+
+    def test_equal_timestamps_are_fine(self, tasks):
+        """The watermark is non-strict: simultaneous publishes are legal."""
+        from dataclasses import replace
+
+        batcher = WindowBatcher(WINDOW_S)
+        ts = tasks[0].publish_ts
+        twins = [
+            replace(task, task_id=f"twin-{i}", publish_ts=ts,
+                    start_deadline_ts=ts + 600.0, end_deadline_ts=ts + 1800.0)
+            for i, task in enumerate(tasks[:4])
+        ]
+        for twin in twins:
+            assert batcher.push(twin) is None
+        assert len(batcher.flush()) == 4
+
+    def test_bad_knobs_raise(self):
+        with pytest.raises(ValueError):
+            WindowBatcher(0.0)
+        with pytest.raises(ValueError):
+            WindowBatcher(60.0, max_batch=0)

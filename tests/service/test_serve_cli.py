@@ -1,0 +1,109 @@
+"""``repro serve``: the CLI front door of the dispatch service.
+
+The in-process tests pin the happy path (soak completes, parity verdict,
+report JSON); the subprocess test is the SIGINT-path regression of the
+lifecycle bugfix sweep — Ctrl-C mid-soak must exit 130 with every worker
+process reaped, never orphaning a warm pool.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestServeCommand:
+    def test_small_soak_completes_with_parity(self, capsys, tmp_path):
+        report_path = tmp_path / "soak.json"
+        code = main(
+            [
+                "serve",
+                "--orders", "600",
+                "--cities", "2",
+                "--epochs", "2",
+                "--drivers", "8",
+                "--executor", "serial",
+                "--parity-epochs", "-1",
+                "--report-json", str(report_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SERVE_READY" in out
+        assert "parity (service == replay): ok over 4 epoch(s)" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["orders"] == 600
+        assert payload["parity_ok"] is True
+        assert payload["dispatch_latency"]["count"] == 600
+        assert payload["dispatch_latency"]["p99_ms"] >= payload["dispatch_latency"]["p50_ms"]
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--orders", "10", "--grid", "bogus"])
+
+
+class TestServeSigint:
+    def test_sigint_mid_soak_exits_130_and_reaps_workers(self):
+        """Satellite 3's regression: interrupt a live process-pool soak and
+        require a clean exit code plus zero surviving worker processes."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--orders", "500000",  # far more than can finish pre-SIGINT
+                "--cities", "2",
+                "--epochs", "2",
+                "--executor", "process",
+                "--workers", "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=str(REPO_ROOT),
+        )
+        try:
+            marker = proc.stdout.readline()
+            assert marker.startswith("SERVE_READY"), marker
+            worker_pids = [
+                int(pid)
+                for pid in marker.split("workers=")[1].strip().split(",")
+                if pid not in ("", "-")
+            ]
+            assert worker_pids, "process executor announced no workers"
+            time.sleep(0.8)  # let the flood actually start
+            proc.send_signal(signal.SIGINT)
+            _out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 130, err
+        assert "worker pools shut down" in err
+        deadline = time.time() + 10.0
+        while time.time() < deadline:
+            alive = [pid for pid in worker_pids if _pid_alive(pid)]
+            if not alive:
+                break
+            time.sleep(0.2)
+        assert not alive, f"orphaned worker processes survived SIGINT: {alive}"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
