@@ -17,6 +17,14 @@ import json
 import os
 from pathlib import Path
 
+from repro.runtime import pin_blas_threads
+
+# Pin BLAS/OpenMP pools to one thread *before* NumPy loads: the benchmark
+# speedups must come from the shard fan-out, not from (and not fighting
+# with) nested native threading.  setdefault semantics — an exported
+# OMP_NUM_THREADS wins.
+pin_blas_threads()
+
 import pytest
 
 from repro.experiments import (

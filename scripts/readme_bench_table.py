@@ -35,6 +35,7 @@ SMOKE_NAMES = (
     "BENCH_offline_pool_smoke",
     "BENCH_scenarios_smoke",
     "BENCH_service_soak_smoke",
+    "BENCH_city_scale_smoke",
 )
 
 
@@ -151,6 +152,21 @@ def _row_service_soak(d: dict) -> list[str]:
     ]
 
 
+def _row_city_scale(d: dict) -> list[str]:
+    offline = d["offline"]
+    return [
+        "`BENCH_city_scale.json` — zero-copy shm transport vs pickle",
+        f"{d['task_count']} tasks, {d['driver_count']} drivers, "
+        f"{d['worker_count']} workers",
+        f"{_parity(d['solution_parity'])} (shm == pickle == serial), "
+        f"**{d['bytes_over_pipe_ratio']:.0f}×** fewer bytes over the pipe "
+        f"({offline['pickle']['bytes_over_pipe']} → "
+        f"{offline['shm']['bytes_over_pipe']} B), "
+        f"{d['streaming']['shm']['segment_reuses']} segment reuses streaming, "
+        f"critical-path speedup **{d['critical_path_speedup']:.2f}×**",
+    ]
+
+
 ROW_BUILDERS = {
     "BENCH_distributed_scaling": _row_distributed_scaling,
     "BENCH_streaming_append": _row_streaming_append,
@@ -158,6 +174,7 @@ ROW_BUILDERS = {
     "BENCH_offline_pool": _row_offline_pool,
     "BENCH_scenarios": _row_scenarios,
     "BENCH_service_soak": _row_service_soak,
+    "BENCH_city_scale": _row_city_scale,
 }
 
 

@@ -1,0 +1,357 @@
+"""Pluggable array-compute backends for the geo and dispatch hot kernels.
+
+The repo's two hottest inner loops — the batch distance metrics of
+:mod:`repro.geo.batch` and the window cost-matrix assembly of
+:class:`~repro.online.candidates.CandidateKernel` — are pure array
+arithmetic.  This module puts them behind a tiny registry so the *same*
+call sites can run on different compute substrates:
+
+* ``numpy`` (default, always available): the canonical vectorised
+  implementations.  This is the reference backend — every parity contract
+  in ``docs/parity-contracts.md`` is stated against it.
+* ``numba`` (optional): ``@njit``-compiled versions of the same kernels,
+  fusing the distance computation with the feasibility masks so the window
+  assembly makes one pass over the ``(tasks x drivers)`` matrix instead of
+  a dozen NumPy temporaries.  Registered only when :mod:`numba` imports;
+  the repo never requires it.
+
+Selection is **per process**: :func:`set_backend` flips a module-global
+that the kernels resolve at call time, and the
+:class:`~repro.distributed.pool.PersistentWorkerPool` slot initialiser
+calls it in every worker process (``backend=`` on the pool), which is how a
+coordinator picks a backend for its whole fan-out.  Under the serial and
+thread policies the workers share this interpreter, so the caller sets the
+process-global backend directly.
+
+Parity: every backend must reproduce the numpy backend's kernels to the
+same tolerance the batch==scalar contracts pin (1e-9 km at city scale),
+and merged coordinator solutions must be backend-independent; the
+backend-parametrised tests in ``tests/geo/test_batch.py`` and
+``tests/geo/test_backends.py`` pin both (numba cases skip when the import
+is unavailable).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Tuple
+
+import numpy as np
+
+# The canonical radian-input kernels live in geo.batch (the historical
+# home every parity test points at); this registry only *routes* to them.
+# geo.batch in turn resolves its public ``metric_fn`` through the active
+# backend, importing this module lazily — so this top-level import is the
+# only edge and there is no cycle.
+from .geo.batch import _METRIC_FNS as _NUMPY_METRICS
+from .geo.batch import METRICS
+
+#: Return signature of :meth:`ArrayBackend.window_costs`.
+WindowCosts = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+class ArrayBackend:
+    """Interface of one compute backend.
+
+    ``metric_fn(name)`` returns the raw batch kernel for one distance
+    metric: ``fn(lat1, lon1, lat2, lon2)`` with *radian* inputs (scalars or
+    broadcastable arrays), returning kilometres.
+
+    ``window_costs(...)`` is the fused dispatch-window assembly used by
+    :meth:`~repro.online.candidates.CandidateKernel.candidates_for_window`
+    on the fast radian path: given the window's driver/task coordinate
+    arrays and timing columns it returns
+    ``(feasible, arrival, dropoff, approach_cost, marginal)`` — the
+    ``(T, D')`` matrices the Hungarian assignment is built from.
+    """
+
+    name = "abstract"
+
+    def metric_fn(self, metric: str) -> Callable:
+        raise NotImplementedError
+
+    def window_costs(
+        self,
+        metric: str,
+        scale: float,
+        loc_rad: np.ndarray,  # (D', 2) driver locations
+        dest_rad: np.ndarray,  # (D', 2) driver home destinations
+        src_rad: np.ndarray,  # (T, 2) task sources
+        dst_rad: np.ndarray,  # (T, 2) task destinations
+        depart: np.ndarray,  # (D',)
+        sdl: np.ndarray,  # (T,) start deadlines
+        edl: np.ndarray,  # (T,) end deadlines
+        prices: np.ndarray,  # (T,)
+        ride_durations: np.ndarray,  # (T,)
+        service_costs: np.ndarray,  # (T,)
+        current_home_km: np.ndarray,  # (D',)
+        driver_end: np.ndarray,  # (D',)
+        speed_kmh: float,
+        cost_per_km: float,
+        wait_for_pickup_deadline: bool,
+    ) -> WindowCosts:
+        raise NotImplementedError
+
+
+class NumpyBackend(ArrayBackend):
+    """The canonical vectorised implementation (always available).
+
+    ``window_costs`` replicates the historical inline assembly of
+    ``candidates_for_window`` operation for operation — same broadcast
+    shapes, same transposes, same epsilons — so routing through the
+    registry changes nothing about the reference results.
+    """
+
+    name = "numpy"
+
+    def metric_fn(self, metric: str) -> Callable:
+        try:
+            return _NUMPY_METRICS[metric]
+        except KeyError:
+            raise ValueError(f"unknown metric {metric!r}; available: {METRICS}") from None
+
+    def window_costs(
+        self,
+        metric,
+        scale,
+        loc_rad,
+        dest_rad,
+        src_rad,
+        dst_rad,
+        depart,
+        sdl,
+        edl,
+        prices,
+        ride_durations,
+        service_costs,
+        current_home_km,
+        driver_end,
+        speed_kmh,
+        cost_per_km,
+        wait_for_pickup_deadline,
+    ) -> WindowCosts:
+        fn = self.metric_fn(metric)
+        feasible = depart[None, :] <= sdl[:, None]  # (T, D')
+
+        approach_km = scale * fn(
+            loc_rad[:, 0][:, None], loc_rad[:, 1][:, None],
+            src_rad[:, 0][None, :], src_rad[:, 1][None, :],
+        )  # (D', T)
+        approach_time = (approach_km / speed_kmh * 3600.0).T  # (T, D')
+        approach_cost = (approach_km * cost_per_km).T
+        arrival = depart[None, :] + approach_time
+        feasible &= arrival <= sdl[:, None] + 1e-9
+        if wait_for_pickup_deadline:
+            pickup = np.maximum(arrival, sdl[:, None])
+        else:
+            pickup = arrival
+        dropoff = pickup + ride_durations[:, None]
+        feasible &= dropoff <= edl[:, None] + 1e-9
+
+        home_km = scale * fn(
+            dst_rad[:, 0][:, None], dst_rad[:, 1][:, None],
+            dest_rad[:, 0][None, :], dest_rad[:, 1][None, :],
+        )  # (T, D')
+        home_time = home_km / speed_kmh * 3600.0
+        home_cost = home_km * cost_per_km
+        feasible &= dropoff + home_time <= driver_end[None, :] + 1e-9
+
+        current_home_cost = current_home_km * cost_per_km  # (D',)
+        marginal = prices[:, None] - (
+            home_cost + service_costs[:, None] + approach_cost - current_home_cost[None, :]
+        )
+        return feasible, arrival, dropoff, approach_cost, marginal
+
+
+class NumbaBackend(ArrayBackend):
+    """``@njit``-compiled kernels (optional; requires :mod:`numba`).
+
+    The metric kernels are the numpy formulas compiled as-is; the window
+    assembly is a fused per-cell loop — one pass computing both legs, every
+    mask and the marginal value without materialising the intermediate
+    matrices.  Same arithmetic per element, in the same order, as the numpy
+    backend.
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        try:
+            import numba  # noqa: F401
+        except ImportError as exc:  # pragma: no cover - exercised without numba
+            raise RuntimeError(
+                "the 'numba' backend needs the numba package (pip install numba)"
+            ) from exc
+        self._metric_fns: Dict[str, Callable] = {}
+        self._window_fns: Dict[str, Callable] = {}
+
+    def metric_fn(self, metric: str) -> Callable:
+        if metric not in METRICS:
+            raise ValueError(f"unknown metric {metric!r}; available: {METRICS}")
+        fn = self._metric_fns.get(metric)
+        if fn is None:
+            from numba import njit
+
+            fn = njit(cache=False)(_NUMPY_METRICS[metric])
+            self._metric_fns[metric] = fn
+        return fn
+
+    def _window_fn(self, metric: str, wait_for_pickup_deadline: bool) -> Callable:
+        key = f"{metric}:{int(wait_for_pickup_deadline)}"
+        fn = self._window_fns.get(key)
+        if fn is None:
+            from numba import njit
+
+            point_km = self.metric_fn(metric)
+
+            @njit(cache=False)
+            def _window(
+                loc_rad, dest_rad, src_rad, dst_rad, depart, sdl, edl, prices,
+                ride_durations, service_costs, current_home_km, driver_end,
+                scale, speed_kmh, cost_per_km,
+            ):
+                t = src_rad.shape[0]
+                d = loc_rad.shape[0]
+                feasible = np.empty((t, d), dtype=np.bool_)
+                arrival = np.empty((t, d), dtype=np.float64)
+                dropoff = np.empty((t, d), dtype=np.float64)
+                approach_cost = np.empty((t, d), dtype=np.float64)
+                marginal = np.empty((t, d), dtype=np.float64)
+                for i in range(t):
+                    for j in range(d):
+                        ok = depart[j] <= sdl[i]
+                        approach_km = scale * point_km(
+                            loc_rad[j, 0], loc_rad[j, 1], src_rad[i, 0], src_rad[i, 1]
+                        )
+                        arr = depart[j] + approach_km / speed_kmh * 3600.0
+                        ok = ok and (arr <= sdl[i] + 1e-9)
+                        if wait_for_pickup_deadline:
+                            pickup = max(arr, sdl[i])
+                        else:
+                            pickup = arr
+                        drop = pickup + ride_durations[i]
+                        ok = ok and (drop <= edl[i] + 1e-9)
+                        home_km = scale * point_km(
+                            dst_rad[i, 0], dst_rad[i, 1], dest_rad[j, 0], dest_rad[j, 1]
+                        )
+                        ok = ok and (
+                            drop + home_km / speed_kmh * 3600.0 <= driver_end[j] + 1e-9
+                        )
+                        a_cost = approach_km * cost_per_km
+                        feasible[i, j] = ok
+                        arrival[i, j] = arr
+                        dropoff[i, j] = drop
+                        approach_cost[i, j] = a_cost
+                        marginal[i, j] = prices[i] - (
+                            home_km * cost_per_km
+                            + service_costs[i]
+                            + a_cost
+                            - current_home_km[j] * cost_per_km
+                        )
+                return feasible, arrival, dropoff, approach_cost, marginal
+
+            fn = _window
+            self._window_fns[key] = fn
+        return fn
+
+    def window_costs(
+        self,
+        metric,
+        scale,
+        loc_rad,
+        dest_rad,
+        src_rad,
+        dst_rad,
+        depart,
+        sdl,
+        edl,
+        prices,
+        ride_durations,
+        service_costs,
+        current_home_km,
+        driver_end,
+        speed_kmh,
+        cost_per_km,
+        wait_for_pickup_deadline,
+    ) -> WindowCosts:
+        fn = self._window_fn(metric, bool(wait_for_pickup_deadline))
+        return fn(
+            np.ascontiguousarray(loc_rad), np.ascontiguousarray(dest_rad),
+            np.ascontiguousarray(src_rad), np.ascontiguousarray(dst_rad),
+            np.ascontiguousarray(depart), np.ascontiguousarray(sdl),
+            np.ascontiguousarray(edl), np.ascontiguousarray(prices),
+            np.ascontiguousarray(ride_durations), np.ascontiguousarray(service_costs),
+            np.ascontiguousarray(current_home_km), np.ascontiguousarray(driver_end),
+            float(scale), float(speed_kmh), float(cost_per_km),
+        )
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def numba_available() -> bool:
+    """Whether the optional numba backend can be constructed here."""
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {"numpy": NumpyBackend}
+if numba_available():  # pragma: no branch - registry is import-time
+    _FACTORIES["numba"] = NumbaBackend
+
+_instances: Dict[str, ArrayBackend] = {}
+_lock = threading.Lock()
+_active: str = "numpy"
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Names of the backends constructible in this process ("numpy" always;
+    "numba" when the import succeeds)."""
+    return tuple(sorted(_FACTORIES))
+
+
+def _instance(name: str) -> ArrayBackend:
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown backend {name!r}; available here: {backend_names()}"
+        )
+    with _lock:
+        backend = _instances.get(name)
+        if backend is None:
+            backend = _FACTORIES[name]()
+            _instances[name] = backend
+    return backend
+
+
+def get_backend() -> ArrayBackend:
+    """The process-active backend (resolved by the kernels at call time)."""
+    return _instance(_active)
+
+
+def set_backend(name: str) -> ArrayBackend:
+    """Select the process-active backend by name (returns it).
+
+    Raises ``ValueError`` for names not constructible here, so a worker
+    initialiser asked for an unavailable backend fails loudly at pool
+    startup, never silently mid-solve.
+    """
+    global _active
+    backend = _instance(name)
+    _active = name
+    return backend
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[ArrayBackend]:
+    """Temporarily select a backend (tests, single solves)."""
+    global _active
+    previous = _active
+    backend = set_backend(name)
+    try:
+        yield backend
+    finally:
+        _active = previous

@@ -40,7 +40,7 @@ import sys
 from typing import Optional, Sequence
 
 from .analysis import BoundKind, compute_upper_bound, format_metric_dict, format_table
-from .distributed import EXECUTOR_POLICIES, PersistentWorkerPool
+from .distributed import EXECUTOR_POLICIES, TRANSPORTS, PersistentWorkerPool
 from .experiments import (
     DEFAULT_SCALE,
     PAPER_SCALE,
@@ -123,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="RxC",
         help="streaming shard grid over the market's bounding box, e.g. 2x2 "
         "(finer grids parallelise further but lose cross-shard trips)",
+    )
+    solve.add_argument(
+        "--transport", choices=sorted(TRANSPORTS), default="pickle",
+        help="streaming wire format: 'shm' ships shard arrays through "
+        "shared memory on the process executor (results are "
+        "transport-independent)",
     )
     solve.add_argument("--output", help="optional path to save the solution JSON")
 
@@ -247,6 +253,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="pool width per city (pooled policies)"
     )
     serve.add_argument(
+        "--transport", choices=sorted(TRANSPORTS), default="pickle",
+        help="per-city pool wire format ('shm' = zero-copy shared memory on "
+        "the process executor; outcomes are transport-independent)",
+    )
+    serve.add_argument(
+        "--backend", default=None,
+        help="compute backend for pool workers (e.g. 'numpy', 'numba'; "
+        "default: numpy)",
+    )
+    serve.add_argument(
         "--grid", default="2x2", metavar="RxC", help="shard grid per city"
     )
     serve.add_argument(
@@ -324,13 +340,18 @@ def _cmd_solve_stream(args: argparse.Namespace, instance) -> int:
     if region is None:
         raise SystemExit("market is empty; nothing to stream")
     with DistributedCoordinator(
-        SpatialPartitioner(region, rows, cols), executor=args.executor
+        SpatialPartitioner(region, rows, cols),
+        executor=args.executor,
+        transport=args.transport,
     ) as coordinator:
         result = coordinator.solve_stream(
             instance, config=BatchConfig(window_s=args.batch_window)
         )
     report = result.report
-    print(f"algorithm: batched (streamed, {args.executor} executor)")
+    print(
+        f"algorithm: batched (streamed, {args.executor} executor, "
+        f"{report.transport} transport)"
+    )
     print(
         f"shards: {report.shard_count} ({rows}x{cols} grid), "
         f"workers: {report.worker_count}, batches: {report.batch_count}, "
@@ -581,6 +602,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cols=cols,
         executor=args.executor,
         workers=args.workers,
+        transport=args.transport,
+        backend=args.backend,
         backpressure_depth=args.backpressure,
         max_batch=args.max_batch,
         seed=args.seed,

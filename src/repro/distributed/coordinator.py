@@ -136,12 +136,19 @@ from .payload import ShardPayload, delta_from_tasks, instance_from_payload, payl
 from .pool import (
     PersistentWorkerPool,
     WorkerPoolBrokenError,
-    _pool_append,
     _pool_discard,
     _pool_finish,
     _pool_open,
     lpt_slot_assignment,
     next_stream_token,
+)
+from .transport import (
+    TRANSPORTS,
+    PayloadDescriptor,
+    TransportStats,
+    payload_from_descriptor,
+    payload_wire_bytes,
+    transport_error,
 )
 
 #: Shard solvers available to workers, by name.
@@ -228,6 +235,44 @@ def solve_shard_payload(payload: ShardPayload, request: ShardWorkRequest) -> Sha
         served_count=served,
         elapsed_s=watch.elapsed_s,
     )
+
+
+def solve_shard_shm(desc: PayloadDescriptor, request: ShardWorkRequest) -> ShardWorkResult:
+    """Shm-transport twin of :func:`solve_shard_payload`: the payload's
+    columns are read from the shared-memory segment the descriptor names
+    instead of the pickled call arguments.
+
+    ``instance_from_payload`` materialises plain driver/task objects before
+    any solving happens, so no view over the segment outlives this call and
+    the coordinator is free to recycle the segment once the future resolves.
+    """
+    return solve_shard_payload(payload_from_descriptor(desc), request)
+
+
+def _submit_payload(
+    pool: PersistentWorkerPool, slot: int, payload: ShardPayload, request: ShardWorkRequest
+):
+    """Submit one offline shard solve over the pool's transport.
+
+    Mirrors ``PersistentWorkerPool.submit_append``: on shm transport only a
+    descriptor is pickled and the segment is recycled when the future
+    completes; any shipping failure falls back to the pickled payload for
+    that shard (counted in ``stats.pickle_fallbacks``).
+    """
+    if pool.shm_active:
+        try:
+            desc = pool.shipper.ship_payload(payload)
+        except (OSError, RuntimeError, ValueError):
+            pool.stats.record_pickle(
+                payload.shard_id, payload_wire_bytes(payload), fallback=True
+            )
+            return pool.submit(slot, solve_shard_payload, payload, request)
+        future = pool.submit(slot, solve_shard_shm, desc, request)
+        future.add_done_callback(lambda _f: pool.shipper.release(desc.segment))
+        return future
+    if pool.executor == "process":
+        pool.stats.record_pickle(payload.shard_id, payload_wire_bytes(payload))
+    return pool.submit(slot, solve_shard_payload, payload, request)
 
 
 def _empty_shard_result(shard: MarketShard, request: ShardWorkRequest) -> ShardWorkResult:
@@ -347,6 +392,9 @@ class DistributedStreamSession:
         self._rebalance = rebalance
         self._token = next_stream_token()
         self._start = time.perf_counter()
+        # Wire-traffic baseline: the pool's stats are cumulative over its
+        # lifetime, so the report diffs against the counts at open.
+        self._stats_mark = self._stats_snapshot()
 
         self._tasks: List[Task] = []  # global task list, in arrival order
         self._task_shard: List[int] = []  # global index -> owning shard id
@@ -380,6 +428,15 @@ class DistributedStreamSession:
         except WorkerPoolBrokenError as exc:
             raise self._shard_broken(shard_id, exc) from exc
         return PendingAppend(shard_id=shard_id, future=future)
+
+    def _stats_snapshot(self) -> Tuple[int, int, int, int]:
+        stats = self._pool.stats
+        return (
+            stats.bytes_over_pipe,
+            stats.shm_bytes,
+            stats.segment_reuses,
+            stats.pickle_fallbacks,
+        )
 
     def _shard_broken(
         self, shard_id: int, exc: WorkerPoolBrokenError
@@ -578,9 +635,13 @@ class DistributedStreamSession:
         if not shard.drivers:
             return
         delta = delta_from_tasks(shard.shard_id, [task for _g, task in members])
-        self._inflight.append(
-            self._submit(shard.shard_id, shard.slot, _pool_append, self._token, shard.shard_id, delta)
-        )
+        # The pool picks the wire format: shm transport ships the delta's
+        # columns through a shared segment and pickles only the descriptor.
+        try:
+            future = self._pool.submit_append(shard.slot, self._token, delta)
+        except WorkerPoolBrokenError as exc:
+            raise self._shard_broken(shard.shard_id, exc) from exc
+        self._inflight.append(PendingAppend(shard_id=shard.shard_id, future=future))
 
     # ------------------------------------------------------------------
     # skew-aware rebalance
@@ -745,6 +806,7 @@ class DistributedStreamSession:
         solution = MarketSolution(
             instance=instance, plans=plans, objective=Objective.DRIVERS_PROFIT
         )
+        now_stats = self._stats_snapshot()
         report = StreamReport(
             shard_count=len(self._shards),
             batch_count=self.batch_count,
@@ -759,6 +821,11 @@ class DistributedStreamSession:
             worker_count=self._pool.worker_count,
             rebalance_count=self._rebalances,
             wait_total_s=wait_total_s,
+            transport=self._pool.transport,
+            bytes_over_pipe=now_stats[0] - self._stats_mark[0],
+            shm_bytes=now_stats[1] - self._stats_mark[1],
+            segment_reuses=now_stats[2] - self._stats_mark[2],
+            pickle_fallbacks=now_stats[3] - self._stats_mark[3],
         )
         return DistributedStreamResult(
             solution=solution,
@@ -792,6 +859,14 @@ class DistributedCoordinator:
         Base of the deterministic per-shard seeds (shard ``k`` receives
         ``base_seed + k``), so stochastic shard solvers are reproducible and
         executor-independent.
+    transport:
+        Wire format for the coordinator's own persistent pool:
+        ``"pickle"`` (default) or ``"shm"`` (zero-copy shared-memory
+        shipments; engaged on the process policy, where a pipe exists).
+        Parity contract 16 pins shm == pickle merges.
+    backend:
+        Optional compute backend (:mod:`repro.backends`) selected in every
+        pool worker; merged solutions are backend-independent (contract 16).
     """
 
     def __init__(
@@ -802,6 +877,8 @@ class DistributedCoordinator:
         max_workers: Optional[int] = None,
         executor: Optional[str] = None,
         base_seed: int = 0,
+        transport: str = "pickle",
+        backend: Optional[str] = None,
     ) -> None:
         if solver_name not in SOLVER_NAMES:
             raise ValueError(f"unknown solver {solver_name!r}; expected one of {SOLVER_NAMES}")
@@ -811,11 +888,15 @@ class DistributedCoordinator:
             raise ValueError(
                 f"unknown executor {executor!r}; expected one of {EXECUTOR_POLICIES}"
             )
+        if transport not in TRANSPORTS:
+            raise transport_error(transport)
         self.partitioner = partitioner
         self.solver_name = solver_name
         self.executor = executor
         self.max_workers = max_workers
         self.base_seed = base_seed
+        self.transport = transport
+        self.backend = backend
         self._stream_pool: Optional[PersistentWorkerPool] = None
 
     @property
@@ -830,12 +911,26 @@ class DistributedCoordinator:
         """The coordinator's persistent worker pool (created lazily, kept
         alive across streams *and* pooled offline solves, so re-solves and
         sweeps amortise its startup)."""
-        if self._stream_pool is None or self._stream_pool.executor != self.executor:
+        stale = self._stream_pool is not None and (
+            self._stream_pool.executor != self.executor
+            or self._stream_pool.transport != self.transport
+            or self._stream_pool.backend != self.backend
+        )
+        if self._stream_pool is None or stale:
             if self._stream_pool is not None:
                 self._stream_pool.close()
             self._stream_pool = PersistentWorkerPool(
-                executor=self.executor, worker_count=self.max_workers
+                executor=self.executor,
+                worker_count=self.max_workers,
+                transport=self.transport,
+                backend=self.backend,
             )
+        return self._stream_pool
+
+    @property
+    def current_pool(self) -> Optional[PersistentWorkerPool]:
+        """The persistent pool if one exists, without creating it — for
+        observers (health endpoints) that must not resurrect a closed pool."""
         return self._stream_pool
 
     def close(self) -> None:
@@ -978,6 +1073,16 @@ class DistributedCoordinator:
         start = time.perf_counter()
         if reuse_pool and pool is None:
             pool = self.stream_pool()
+        # Wire accounting: pooled solves diff the pool's cumulative counters;
+        # the fork path gets a scratch stats object filled by ``_solve_live``.
+        fork_stats = TransportStats()
+        if pool is not None:
+            stats_mark = (
+                pool.stats.bytes_over_pipe,
+                pool.stats.shm_bytes,
+                pool.stats.segment_reuses,
+                pool.stats.pickle_fallbacks,
+            )
         plan = self.partitioner.partition(instance)
         requests = [
             ShardWorkRequest(
@@ -1008,7 +1113,8 @@ class DistributedCoordinator:
             worker_count = self._resolve_worker_count(len(live))
             executor_label = self.executor
         for position, result in zip(
-            live, self._solve_live(plan, requests, live, worker_count, pool, load_report)
+            live,
+            self._solve_live(plan, requests, live, worker_count, pool, load_report, fork_stats),
         ):
             results[position] = result
         solved = [result for result in results if result is not None]
@@ -1022,6 +1128,18 @@ class DistributedCoordinator:
         solution = self._merge_solution(instance, merged, merged_profits)
         wall_clock = time.perf_counter() - start
         durations = tuple(r.elapsed_s for r in solved)
+        if pool is not None:
+            transport_label = pool.transport
+            bytes_over_pipe = pool.stats.bytes_over_pipe - stats_mark[0]
+            shm_bytes = pool.stats.shm_bytes - stats_mark[1]
+            segment_reuses = pool.stats.segment_reuses - stats_mark[2]
+            pickle_fallbacks = pool.stats.pickle_fallbacks - stats_mark[3]
+        else:
+            transport_label = fork_stats.transport
+            bytes_over_pipe = fork_stats.bytes_over_pipe
+            shm_bytes = fork_stats.shm_bytes
+            segment_reuses = fork_stats.segment_reuses
+            pickle_fallbacks = fork_stats.pickle_fallbacks
         report = CoordinatorReport(
             shard_count=plan.shard_count,
             total_value=solution.total_value,
@@ -1034,6 +1152,11 @@ class DistributedCoordinator:
             worker_count=worker_count,
             empty_shard_count=len(plan.shards) - len(live),
             per_shard_task_counts=tuple(shard.task_count for shard in plan.shards),
+            transport=transport_label,
+            bytes_over_pipe=bytes_over_pipe,
+            shm_bytes=shm_bytes,
+            segment_reuses=segment_reuses,
+            pickle_fallbacks=pickle_fallbacks,
         )
         return DistributedResult(solution=solution, report=report, plan=plan)
 
@@ -1090,6 +1213,7 @@ class DistributedCoordinator:
         worker_count: int,
         pool: Optional[PersistentWorkerPool] = None,
         load_report: Optional[ShardLoadReport] = None,
+        fork_stats: Optional[TransportStats] = None,
     ) -> List[ShardWorkResult]:
         """Solve the non-degenerate shards under the configured policy,
         returning results in ``live`` order.
@@ -1109,7 +1233,7 @@ class DistributedCoordinator:
             slots = self._placement_slots(plan, live, pool.worker_count, load_report)
             if pool.executor == "process":
                 futures = [
-                    pool.submit(slot, solve_shard_payload, payload_from_shard(shard), req)
+                    _submit_payload(pool, slot, payload_from_shard(shard), req)
                     for slot, shard, req in zip(slots, shards, reqs)
                 ]
             else:
@@ -1124,6 +1248,9 @@ class DistributedCoordinator:
             with ThreadPoolExecutor(max_workers=worker_count) as pool_:
                 return list(pool_.map(solve_shard, shards, reqs))
         payloads = [payload_from_shard(shard) for shard in shards]
+        if fork_stats is not None:
+            for payload in payloads:
+                fork_stats.record_pickle(payload.shard_id, payload_wire_bytes(payload))
         with ProcessPoolExecutor(max_workers=worker_count) as pool_:
             return list(pool_.map(solve_shard_payload, payloads, reqs))
 

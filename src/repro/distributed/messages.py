@@ -82,6 +82,18 @@ class CoordinatorReport:
     #: via ``ShardLoadReport.from_prior`` — into a ``LoadAwarePartitioner``
     #: to pre-split the zones this solve proved hot before the next solve.
     per_shard_task_counts: Tuple[int, ...] = ()
+    #: Transport the fan-out shipped payloads over ("pickle" or "shm").
+    transport: str = "pickle"
+    #: Bytes that actually crossed executor pipes for this solve (pickled
+    #: payloads, or just descriptors on shm); 0 for serial/thread where no
+    #: pipe exists.
+    bytes_over_pipe: int = 0
+    #: Array bytes shipped through shared-memory segments instead.
+    shm_bytes: int = 0
+    #: Shipments that reused an existing segment rather than allocating.
+    segment_reuses: int = 0
+    #: Shm shipments that fell back to pickling (degraded environment).
+    pickle_fallbacks: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -126,6 +138,17 @@ class StreamReport:
     #: Sum of publish->pickup waits over all served tasks (simulated time),
     #: merged from the per-shard totals in shard order.
     wait_total_s: float = 0.0
+    #: Transport the stream's appends shipped over ("pickle" or "shm").
+    transport: str = "pickle"
+    #: Bytes that actually crossed executor pipes for this stream's appends
+    #: (pickled deltas, or just descriptors on shm); 0 for serial/thread.
+    bytes_over_pipe: int = 0
+    #: Array bytes shipped through shared-memory segments instead.
+    shm_bytes: int = 0
+    #: Shipments that reused an existing segment rather than allocating.
+    segment_reuses: int = 0
+    #: Shm shipments that fell back to pickling (degraded environment).
+    pickle_fallbacks: int = 0
 
     @property
     def critical_path_speedup(self) -> float:

@@ -49,6 +49,21 @@ from ..geo import GeoPoint
 from .partition import MarketShard
 
 
+def _coerce_arrays(obj, fields: Tuple[str, ...]) -> None:
+    """Normalise a payload's array fields to C-contiguous ``float64`` in place.
+
+    The transport layer (pickle and shared-memory alike) assumes it can ship
+    each column as one flat buffer of known dtype; a transposed view or a
+    ``float32`` array sneaking in would either silently copy at ship time or
+    corrupt the fixed wire layout.  Coercing once, at construction, makes the
+    invariant structural — and is free in the common case, because
+    ``np.ascontiguousarray`` returns the input unchanged when it already
+    complies (which also keeps the shm receive path zero-copy)."""
+    for name in fields:
+        value = getattr(obj, name)
+        object.__setattr__(obj, name, np.ascontiguousarray(value, dtype=np.float64))
+
+
 @dataclass(frozen=True)
 class ShardPayload:
     """One shard's primal inputs, flattened for cheap pickling.
@@ -72,6 +87,20 @@ class ShardPayload:
     task_wtps: np.ndarray  # (M,), NaN where the task had no WTP
     task_distances: np.ndarray  # (M,), NaN where no trace distance was known
     cost_model: MarketCostModel
+
+    #: Array fields, in wire order (shared with the shm transport layout).
+    ARRAY_FIELDS = (
+        "driver_coords",
+        "driver_windows",
+        "task_coords",
+        "task_times",
+        "task_prices",
+        "task_wtps",
+        "task_distances",
+    )
+
+    def __post_init__(self) -> None:
+        _coerce_arrays(self, self.ARRAY_FIELDS)
 
     @property
     def driver_count(self) -> int:
@@ -153,6 +182,18 @@ class ShardPayloadDelta:
     task_prices: np.ndarray  # (B,)
     task_wtps: np.ndarray  # (B,), NaN where the task had no WTP
     task_distances: np.ndarray  # (B,), NaN where no trace distance was known
+
+    #: Array fields, in wire order (shared with the shm transport layout).
+    ARRAY_FIELDS = (
+        "task_coords",
+        "task_times",
+        "task_prices",
+        "task_wtps",
+        "task_distances",
+    )
+
+    def __post_init__(self) -> None:
+        _coerce_arrays(self, self.ARRAY_FIELDS)
 
     @property
     def task_count(self) -> int:

@@ -51,11 +51,36 @@ from ..market.driver import Driver
 from ..market.streaming import StreamingMarketInstance
 from ..market.task import Task
 from ..online.batch import BatchConfig, BatchedSimulator
+from ..runtime import pin_blas_threads
 from .messages import ShardStreamResult, Stopwatch
 from .payload import ShardPayloadDelta, tasks_from_delta
+from .transport import (
+    TRANSPORTS,
+    DeltaDescriptor,
+    ShmShipper,
+    TransportStats,
+    delta_from_descriptor,
+    transport_error,
+)
 
 #: Executor policies accepted by the pool (mirrors the coordinator's).
 POOL_POLICIES = ("serial", "thread", "process")
+
+
+def _slot_initializer(backend: Optional[str]) -> None:
+    """Runs once in every pool worker process, before any shard work.
+
+    Pins the native BLAS/OpenMP pools to one thread — the pool's parallelism
+    is *across* worker processes, and nested threading would oversubscribe
+    the cores — and selects the worker's compute backend when the pool was
+    constructed with one (fails the worker loudly at startup for a backend
+    unavailable in the worker's environment, never silently mid-solve).
+    """
+    pin_blas_threads()
+    if backend is not None:
+        from .. import backends
+
+        backends.set_backend(backend)
 
 
 class WorkerPoolBrokenError(RuntimeError):
@@ -168,6 +193,16 @@ def _pool_open(
 
 def _pool_append(token: int, shard_id: int, delta: ShardPayloadDelta) -> int:
     return _SESSIONS[(token, shard_id)].append(tasks_from_delta(delta))
+
+
+def _pool_append_shm(token: int, shard_id: int, desc: DeltaDescriptor) -> int:
+    """Shm-transport twin of :func:`_pool_append`: the batch's arrays are
+    read from shared memory instead of the pickled call arguments.  Tasks are
+    materialised inside this call (``tasks_from_delta`` builds plain objects),
+    so no view outlives the segment's recycle window."""
+    return _SESSIONS[(token, shard_id)].append(
+        tasks_from_delta(delta_from_descriptor(desc))
+    )
 
 
 def _pool_finish(token: int, shard_id: int) -> ShardStreamResult:
@@ -300,6 +335,20 @@ class PersistentWorkerPool:
         shard sessions rely on.
     worker_count:
         Number of slots for the pooled policies (default: CPU count).
+    transport:
+        ``"pickle"`` (default) ships payloads/deltas as pickled call
+        arguments; ``"shm"`` ships the array columns through shared-memory
+        segments owned by the pool's :class:`~repro.distributed.transport.ShmShipper`
+        and only descriptors cross the pipe.  Shared memory is engaged only
+        where a pipe exists (the process policy); under serial/thread the
+        setting is accepted and recorded but nothing is shipped at all, so
+        both transports are trivially identical there.  Parity contract 16
+        pins shm == pickle merges on the process policy.
+    backend:
+        Optional compute backend name (:mod:`repro.backends`) selected in
+        every worker's initializer — per-worker under the process policy;
+        under serial/thread the backend is process-global and is applied to
+        *this* process at construction.
 
     Lifecycle
     ---------
@@ -326,12 +375,23 @@ class PersistentWorkerPool:
     concurrently with no ordering relation.
     """
 
-    def __init__(self, executor: str = "process", worker_count: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        executor: str = "process",
+        worker_count: Optional[int] = None,
+        *,
+        transport: str = "pickle",
+        backend: Optional[str] = None,
+    ) -> None:
         if executor not in POOL_POLICIES:
             raise ValueError(
                 f"unknown executor {executor!r}; expected one of {POOL_POLICIES}"
             )
+        if transport not in TRANSPORTS:
+            raise transport_error(transport)
         self.executor = executor
+        self.transport = transport
+        self.backend = backend
         if executor == "serial":
             self.worker_count = 1
         else:
@@ -339,6 +399,29 @@ class PersistentWorkerPool:
         self._slots: List[Optional[Executor]] = [None] * self.worker_count
         self._closed = False
         self._broken: Optional[WorkerPoolBrokenError] = None
+        self.stats = TransportStats(transport=transport)
+        self._shipper: Optional[ShmShipper] = None
+        if backend is not None and executor != "process":
+            # No worker initializer will run: the slots share this
+            # interpreter, so select the backend here, process-globally.
+            from .. import backends
+
+            backends.set_backend(backend)
+
+    @property
+    def shm_active(self) -> bool:
+        """Whether shipments on this pool actually go through shared memory
+        (shm transport *and* a real pipe to cross)."""
+        return self.transport == "shm" and self.executor == "process"
+
+    @property
+    def shipper(self) -> ShmShipper:
+        """The pool's segment manager (created lazily; shm transport only)."""
+        if not self.shm_active:
+            raise RuntimeError("shipper is only available on shm-transport process pools")
+        if self._shipper is None:
+            self._shipper = ShmShipper(stats=self.stats)
+        return self._shipper
 
     def _slot_executor(self, slot: int) -> Executor:
         pool = self._slots[slot]
@@ -346,7 +429,11 @@ class PersistentWorkerPool:
             if self.executor == "thread":
                 pool = ThreadPoolExecutor(max_workers=1)
             else:
-                pool = ProcessPoolExecutor(max_workers=1)
+                pool = ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_slot_initializer,
+                    initargs=(self.backend,),
+                )
             self._slots[slot] = pool
         return pool
 
@@ -397,6 +484,34 @@ class PersistentWorkerPool:
             raise self._mark_broken(slot, exc) from exc
         return _SlotFuture(self, slot, future)
 
+    def submit_append(self, slot: int, token: int, delta: ShardPayloadDelta):
+        """Submit one stream-append over the pool's transport.
+
+        On shm transport the delta's columns are copied into a segment and
+        only the descriptor is pickled; the segment is recycled when the
+        returned future completes (same slot, submission order — see the
+        transport module's correctness model).  Any shipping failure falls
+        back to the pickle path for that batch and is counted in
+        ``stats.pickle_fallbacks``, so a degraded environment degrades
+        throughput, never correctness.
+        """
+        from .transport import delta_wire_bytes
+
+        if self.shm_active:
+            try:
+                desc = self.shipper.ship_delta(delta)
+            except (OSError, RuntimeError, ValueError):
+                self.stats.record_pickle(
+                    delta.shard_id, delta_wire_bytes(delta), fallback=True
+                )
+                return self.submit(slot, _pool_append, token, delta.shard_id, delta)
+            future = self.submit(slot, _pool_append_shm, token, delta.shard_id, desc)
+            future.add_done_callback(lambda _f: self._shipper.release(desc.segment))
+            return future
+        if self.executor == "process":
+            self.stats.record_pickle(delta.shard_id, delta_wire_bytes(delta))
+        return self.submit(slot, _pool_append, token, delta.shard_id, delta)
+
     def close(self, cancel_pending: bool = True) -> None:
         """Shut every slot executor down (idempotent).
 
@@ -412,6 +527,12 @@ class PersistentWorkerPool:
         for pool in slots:
             if pool is not None:
                 pool.shutdown(wait=True, cancel_futures=cancel_pending)
+        # After the workers are gone nothing can be reading the segments, so
+        # unlink them all — every teardown path (context exit, SIGINT unwind,
+        # broken-worker shutdown) funnels through here and leaves /dev/shm
+        # clean.
+        if self._shipper is not None:
+            self._shipper.close()
 
     def __enter__(self) -> "PersistentWorkerPool":
         return self

@@ -1,0 +1,59 @@
+"""Process-level runtime knobs shared by the pool and the benchmarks.
+
+The multicore story of this repo is *process* parallelism: every shard worker
+is a single-worker process and the speedup comes from running shards on
+separate cores.  BLAS/OpenMP nested threading fights that design — NumPy
+linked against OpenBLAS/MKL will happily spawn ``os.cpu_count()`` threads
+*per worker process*, oversubscribing the machine and understating the
+fan-out's speedup (the threads contend instead of the shards progressing).
+
+:func:`pin_blas_threads` pins the common native thread pools to one thread.
+It is called
+
+* by the :class:`~repro.distributed.pool.PersistentWorkerPool` slot
+  initialiser (so every worker process is pinned regardless of how it was
+  started), and
+* at the top of the benchmark harness (``benchmarks/conftest.py``) and the
+  city-scale runner, *before* NumPy is imported — most BLAS builds read the
+  environment once at load time, so pinning early in the parent also covers
+  fork-started workers.
+
+The default is ``setdefault`` semantics: an operator who deliberately
+exported ``OMP_NUM_THREADS=8`` keeps their setting; pass ``force=True`` to
+override.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+#: Environment variables read by the native thread pools NumPy/SciPy link
+#: against (OpenMP, OpenBLAS, MKL, Accelerate, numexpr).
+BLAS_ENV_VARS: Tuple[str, ...] = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
+def pin_blas_threads(threads: int = 1, *, force: bool = False) -> Dict[str, str]:
+    """Pin BLAS/OpenMP thread pools to ``threads`` (default 1) via the
+    environment.
+
+    Returns the mapping of variables this call actually set.  With
+    ``force=False`` (default) existing values — an operator's explicit
+    choice — are left alone.  Call as early as possible: most BLAS builds
+    size their pools once, when the library loads.
+    """
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    value = str(threads)
+    applied: Dict[str, str] = {}
+    for name in BLAS_ENV_VARS:
+        if force or name not in os.environ:
+            os.environ[name] = value
+            applied[name] = value
+    return applied

@@ -205,8 +205,16 @@ class DispatchService:
         workers: Optional[int] = None,
         config: Optional[BatchConfig] = None,
         max_batch: Optional[int] = None,
+        transport: str = "pickle",
+        backend: Optional[str] = None,
     ) -> CityRuntime:
-        """Add a tenant: its own coordinator + persistent pool + stream."""
+        """Add a tenant: its own coordinator + persistent pool + stream.
+
+        ``transport``/``backend`` configure the city's pool wire format and
+        compute backend (see :class:`~repro.distributed.DistributedCoordinator`);
+        the service outcome is transport- and backend-independent (parity
+        contract 16), only the wire metrics in :meth:`health` change.
+        """
         if name in self._cities:
             raise ValueError(f"city {name!r} is already registered")
         if self._shutdown:
@@ -215,6 +223,8 @@ class DispatchService:
             SpatialPartitioner(region, rows, cols),
             executor=executor,
             max_workers=workers,
+            transport=transport,
+            backend=backend,
         )
         chosen = config or BatchConfig()
         runtime = CityRuntime(
@@ -437,6 +447,15 @@ class DispatchService:
             )
             block["shard_queue_depth"] = {str(k): v for k, v in sorted(depths.items())}
             block["open_orders"] = runtime.batcher.pending
+            # Wire-transport counters of the city's pool: bytes over the
+            # executor pipes (per shard too), segment reuse, fallbacks.
+            pool = runtime.coordinator.current_pool
+            if pool is not None:
+                transport = pool.stats.snapshot()
+                transport["shard_bytes"] = {
+                    str(k): v for k, v in transport["shard_bytes"].items()
+                }
+                block["transport"] = transport
             cities[name] = block
         return {
             "status": status,

@@ -8,6 +8,8 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.distributed import (
+    ShardPayload,
+    ShardPayloadDelta,
     ShardWorkRequest,
     SpatialPartitioner,
     delta_from_tasks,
@@ -19,6 +21,7 @@ from repro.distributed import (
 )
 from repro.geo import PORTO, GeoPoint
 from repro.market import Driver, MarketInstance, Task
+from repro.market.cost import MarketCostModel
 
 from ..conftest import build_random_instance
 
@@ -68,6 +71,72 @@ class TestPayloadRoundTrip:
         # The payload ships primal arrays only; it must stay far below the
         # pickled object graph with its cached task maps.
         assert len(blob) < len(pickle.dumps(shard)) / 2
+
+
+class TestArrayNormalisation:
+    """Transport invariant: every payload column is C-contiguous float64.
+
+    The wire layout (pickle and shared-memory alike) ships each column as one
+    flat float64 buffer; a transposed view or a float32 array sneaking into a
+    hand-built payload must be coerced at construction, not corrupt the
+    segment layout at ship time.
+    """
+
+    def test_payload_coerces_transposed_and_float32_input(self):
+        coords = np.asfortranarray(
+            [[41.15, -8.62, 41.16, -8.60], [41.14, -8.61, 41.17, -8.59]]
+        )
+        assert not coords.flags["C_CONTIGUOUS"]  # a genuinely hostile input
+        payload = ShardPayload(
+            shard_id=0,
+            driver_ids=("d0", "d1"),
+            driver_coords=coords,
+            driver_windows=np.array([[0, 7200], [0, 7200]], dtype=np.int64),
+            task_ids=("t0",),
+            task_coords=np.array([[41.15, -8.61, 41.155, -8.605]], dtype=np.float32),
+            task_times=np.array([[0.0, 600.0, 1800.0]], dtype=np.float32),
+            task_prices=np.array([5.0], dtype=np.float32),
+            task_wtps=np.array([np.nan], dtype=np.float32),
+            task_distances=np.array([2.5], dtype=np.float32),
+            cost_model=MarketCostModel(),
+        )
+        for name in ShardPayload.ARRAY_FIELDS:
+            column = getattr(payload, name)
+            assert column.dtype == np.float64, name
+            assert column.flags["C_CONTIGUOUS"], name
+        assert np.array_equal(payload.driver_coords, np.ascontiguousarray(coords))
+        assert payload.driver_windows.tolist() == [[0.0, 7200.0], [0.0, 7200.0]]
+        assert np.isnan(payload.task_wtps[0])
+        # The coerced payload is still a working instance.
+        rebuilt = instance_from_payload(payload)
+        assert rebuilt.tasks[0].distance_km == pytest.approx(2.5)
+
+    def test_delta_coerces_like_the_payload(self):
+        delta = ShardPayloadDelta(
+            shard_id=3,
+            task_ids=("t0", "t1"),
+            task_coords=np.zeros((4, 2), dtype=np.float32).T,
+            task_times=np.array([[0.0, 0.0], [600.0, 600.0], [1800.0, 1800.0]]).T,
+            task_prices=np.array([5, 6], dtype=np.int32),
+            task_wtps=np.array([np.nan, 7.5], dtype=np.float32),
+            task_distances=np.array([np.nan, np.nan], dtype=np.float32),
+        )
+        for name in ShardPayloadDelta.ARRAY_FIELDS:
+            column = getattr(delta, name)
+            assert column.dtype == np.float64, name
+            assert column.flags["C_CONTIGUOUS"], name
+        tasks = tasks_from_delta(delta)
+        assert tasks[0].wtp is None and tasks[1].wtp == 7.5
+
+    def test_pipeline_built_payloads_already_comply(self, plan):
+        """The normal construction path satisfies the invariant natively, so
+        coercion is a no-op there (what keeps the shm receive path zero-copy)."""
+        for shard in plan.shards:
+            payload = payload_from_shard(shard)
+            for name in ShardPayload.ARRAY_FIELDS:
+                column = getattr(payload, name)
+                assert column.dtype == np.float64
+                assert column.flags["C_CONTIGUOUS"]
 
 
 class TestPayloadDelta:

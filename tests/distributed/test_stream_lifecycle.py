@@ -14,7 +14,10 @@ pins the *unhappy* paths the dispatch service leans on:
 """
 
 import os
+import subprocess
+import sys
 import time
+from pathlib import Path
 
 import pytest
 
@@ -197,6 +200,153 @@ class TestBrokenWorkers:
                 future.result()
             assert not pool.broken
             assert pool.submit(0, os.getpid).result() == os.getpid()
+
+
+#: Script for the SIGINT regression: streams over shm, prints the shipper's
+#: segment prefix, interrupts itself mid-stream.  The parent then scans
+#: /dev/shm — the context managers' unwind must have unlinked every segment.
+_SIGINT_SCRIPT = """
+import os, signal
+from repro.distributed import DistributedCoordinator, SpatialPartitioner
+from repro.geo import PORTO, GeoPoint
+from repro.market import Driver, Task
+from repro.online.batch import BatchConfig
+
+drivers = [
+    Driver(f"d{i}", GeoPoint(41.15, -8.62), GeoPoint(41.16, -8.60), 0.0, 7200.0)
+    for i in range(4)
+]
+tasks = [
+    Task(f"t{i}", 0.0, GeoPoint(41.15, -8.61), GeoPoint(41.155, -8.605), 600.0, 1800.0, price=5.0)
+    for i in range(8)
+]
+try:
+    with DistributedCoordinator(
+        SpatialPartitioner(PORTO, 1, 1), executor="process", max_workers=1,
+        transport="shm",
+    ) as coordinator:
+        with coordinator.open_stream(drivers, config=BatchConfig(window_s=600.0)) as session:
+            session.append_batch(tasks)
+            print("PREFIX", coordinator.stream_pool().shipper.segment_prefix, flush=True)
+            os.kill(os.getpid(), signal.SIGINT)
+except KeyboardInterrupt:
+    pass
+print("CLEAN-EXIT", flush=True)
+"""
+
+
+#: Script for the resource-tracker regression: a fresh interpreter (so no
+#: tracker exists before the pool forks its workers) streams over shm and
+#: exits cleanly.  Workers attach segments untracked; if they registered
+#: with their own resource trackers instead, this exact flow ends with
+#: "leaked shared_memory objects" warnings on stderr at shutdown.
+_TRACKER_SCRIPT = """
+from repro.distributed import DistributedCoordinator, SpatialPartitioner
+from repro.geo import PORTO, GeoPoint
+from repro.market import Driver, Task
+from repro.online.batch import BatchConfig
+
+drivers = [
+    Driver(f"d{i}", GeoPoint(41.15, -8.62), GeoPoint(41.16, -8.60), 0.0, 7200.0)
+    for i in range(6)
+]
+tasks = [
+    Task(f"t{i}", 60.0 * i, GeoPoint(41.15, -8.61), GeoPoint(41.155, -8.605),
+         60.0 * i + 600.0, 60.0 * i + 1800.0, price=5.0)
+    for i in range(40)
+]
+from repro.market import MarketInstance
+
+instance = MarketInstance.create(drivers=tuple(drivers), tasks=tuple(tasks))
+with DistributedCoordinator(
+    SpatialPartitioner(PORTO, 2, 1), executor="process", max_workers=2,
+    transport="shm",
+) as coordinator:
+    result = coordinator.solve_stream(instance, config=BatchConfig(window_s=600.0))
+    assert result.report.shm_bytes > 0, "stream did not exercise the shm path"
+    print("PREFIX", coordinator.stream_pool().shipper.segment_prefix, flush=True)
+print("CLEAN-EXIT", flush=True)
+"""
+
+
+class TestShmSegmentLifecycle:
+    """Satellite 4 of the transport PR: no teardown path leaks /dev/shm
+    segments — not close(), not a worker death, not a SIGINT."""
+
+    @staticmethod
+    def _entries(prefix):
+        from .test_transport import shm_entries
+
+        return shm_entries(prefix)
+
+    def test_close_unlinks_all_segments(self, instance, config):
+        with DistributedCoordinator(
+            SpatialPartitioner(PORTO, 2, 2), executor="process", max_workers=2,
+            transport="shm",
+        ) as coordinator:
+            coordinator.solve_stream(instance, config=config)
+            pool = coordinator._stream_pool
+            prefix = pool.shipper.segment_prefix
+            # Steady state keeps recycled segments alive on the free list...
+            assert pool.stats.segments_created > 0
+        # ...and pool teardown (the coordinator's __exit__) unlinks them all.
+        assert self._entries(prefix) == []
+
+    def test_worker_death_unlinks_all_segments(self, instance, config):
+        with DistributedCoordinator(
+            SpatialPartitioner(PORTO, 1, 1), executor="process", max_workers=1,
+            transport="shm",
+        ) as coordinator:
+            session = open_with_batches(coordinator, instance, config)
+            pool = coordinator._stream_pool
+            prefix = pool.shipper.segment_prefix
+            pool.submit(0, os._exit, 1)
+            batches = window_batches(instance.tasks, config.window_s)
+            with pytest.raises(WorkerPoolBrokenError, match="lost shard"):
+                session.append_batch(batches[1])
+                session.finish()
+            # The broken-worker shutdown already funnelled through
+            # pool.close(), which closes the shipper: nothing left behind
+            # even before the coordinator context exits.
+            assert pool.broken
+            assert self._entries(prefix) == []
+        assert self._entries(prefix) == []
+
+    @staticmethod
+    def _run_script(script):
+        repo_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(repo_root / "src"), env.get("PYTHONPATH", "")]
+        )
+        return subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=120, env=env,
+        )
+
+    def test_sigint_mid_stream_unlinks_all_segments(self):
+        proc = self._run_script(_SIGINT_SCRIPT)
+        assert "CLEAN-EXIT" in proc.stdout, proc.stderr
+        prefix = next(
+            line.split()[1] for line in proc.stdout.splitlines() if line.startswith("PREFIX")
+        )
+        assert prefix.startswith("repro-shm-")
+        assert self._entries(prefix) == []
+
+    def test_worker_attaches_make_no_resource_tracker_noise(self):
+        """Readers attach segments outside the resource tracker.  If they
+        registered instead, every worker would grow a tracker that warns
+        about (and re-unlinks) the shipper's segments at exit — exactly what
+        a plain ``SharedMemory(name=...)`` attach does before Python 3.13."""
+        proc = self._run_script(_TRACKER_SCRIPT)
+        assert proc.returncode == 0, proc.stderr
+        assert "CLEAN-EXIT" in proc.stdout, proc.stderr
+        assert "resource_tracker" not in proc.stderr, proc.stderr
+        assert "leaked shared_memory" not in proc.stderr, proc.stderr
+        prefix = next(
+            line.split()[1] for line in proc.stdout.splitlines() if line.startswith("PREFIX")
+        )
+        assert self._entries(prefix) == []
 
 
 class TestTeardownCancelsBacklog:

@@ -1,0 +1,332 @@
+"""Zero-copy shared-memory transport: layout, lifecycle, parity (contract 16).
+
+Three layers are pinned here:
+
+* the packing layer — descriptors round-trip payloads and deltas through a
+  shared segment value-identically, ids and ``NaN`` sentinels included;
+* the shipper — segments are recycled through the free list (a steady-state
+  stream reuses a handful of segments), ``release`` is idempotent,
+  ``close()`` unlinks everything, and a failed shipment falls back to
+  pickle without losing the batch;
+* **parity contract 16** — shm == pickle merges, bit-identical, for the
+  offline pooled path and the streaming path alike, with the pickle
+  transport (and the serial executor) as the reference.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    DistributedCoordinator,
+    PersistentWorkerPool,
+    ShmShipper,
+    SpatialPartitioner,
+    TransportStats,
+    delta_from_descriptor,
+    delta_from_tasks,
+    delta_wire_bytes,
+    payload_from_descriptor,
+    payload_from_shard,
+    payload_wire_bytes,
+    tasks_from_delta,
+)
+from repro.distributed.pool import _pool_discard, _pool_open, next_stream_token
+from repro.distributed.transport import _MAX_FREE_SEGMENTS, _decode_ids, _encode_ids
+from repro.geo import PORTO
+from repro.online.batch import BatchConfig
+
+from ..conftest import build_random_instance
+from .test_stream import stream_fingerprint
+
+WINDOW_S = 600.0
+
+
+def shm_entries(prefix: str):
+    """Live ``/dev/shm`` segments created under ``prefix`` (the leak scan)."""
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # non-POSIX-shm platform: nothing to scan
+        return []
+    return sorted(name for name in os.listdir(root) if name.startswith(prefix))
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return build_random_instance(task_count=60, driver_count=15, seed=37)
+
+
+@pytest.fixture(scope="module")
+def plan(instance):
+    return SpatialPartitioner(PORTO, 2, 2).partition(instance)
+
+
+def solve_fingerprint(result):
+    return (
+        result.solution.assignment(),
+        tuple((p.driver_id, p.task_indices, p.profit) for p in result.solution.plans),
+        result.solution.total_value,
+    )
+
+
+class TestIdCodec:
+    def test_round_trip(self):
+        ids = ("plain", "", "unicode-éçø", "t" * 300)
+        assert _decode_ids(*_encode_ids(ids)) == ids
+
+    def test_empty(self):
+        blob, lens = _encode_ids(())
+        assert blob.size == 0 and lens.size == 0
+        assert _decode_ids(blob, lens) == ()
+
+
+class TestDescriptorRoundTrip:
+    def test_payload_round_trip_is_value_identical(self, plan):
+        shard = max(plan.shards, key=lambda s: s.task_count)
+        payload = payload_from_shard(shard)
+        shipper = ShmShipper()
+        try:
+            desc = shipper.ship_payload(payload)
+            rebuilt = payload_from_descriptor(desc)
+            assert rebuilt.shard_id == payload.shard_id
+            assert rebuilt.driver_ids == payload.driver_ids
+            assert rebuilt.task_ids == payload.task_ids
+            assert rebuilt.cost_model is payload.cost_model
+            for name in type(payload).ARRAY_FIELDS:
+                got, want = getattr(rebuilt, name), getattr(payload, name)
+                # NaN sentinels must survive, so compare with equal_nan.
+                assert np.array_equal(got, want, equal_nan=True), name
+                assert got.dtype == np.float64 and got.flags["C_CONTIGUOUS"]
+        finally:
+            shipper.close()
+
+    def test_delta_round_trip_is_value_identical(self, plan):
+        shard = max(plan.shards, key=lambda s: s.task_count)
+        delta = delta_from_tasks(shard.spec.shard_id, shard.instance.tasks)
+        shipper = ShmShipper()
+        try:
+            rebuilt = delta_from_descriptor(shipper.ship_delta(delta))
+            assert tasks_from_delta(rebuilt) == shard.instance.tasks
+        finally:
+            shipper.close()
+
+    def test_descriptor_is_tiny_next_to_the_payload(self, plan):
+        """The point of the transport: what crosses the pipe shrinks from the
+        full array bytes to a descriptor of a few hundred bytes."""
+        shard = max(plan.shards, key=lambda s: s.task_count)
+        payload = payload_from_shard(shard)
+        shipper = ShmShipper()
+        try:
+            desc = shipper.ship_payload(payload)
+            assert len(pickle.dumps(desc)) < 1024
+            assert payload_wire_bytes(payload) > len(pickle.dumps(desc))
+        finally:
+            shipper.close()
+
+
+class TestShmShipper:
+    def test_segments_are_reused_across_shipments(self, plan):
+        delta = delta_from_tasks(0, plan.shards[0].instance.tasks[:5])
+        shipper = ShmShipper()
+        try:
+            first = shipper.ship_delta(delta)
+            shipper.release(first.segment)
+            second = shipper.ship_delta(delta)
+            assert second.segment == first.segment  # recycled, not recreated
+            assert shipper.stats.segments_created == 1
+            assert shipper.stats.segment_reuses == 1
+        finally:
+            shipper.close()
+
+    def test_release_is_idempotent(self, plan):
+        delta = delta_from_tasks(0, plan.shards[0].instance.tasks[:5])
+        shipper = ShmShipper()
+        try:
+            desc = shipper.ship_delta(delta)
+            shipper.release(desc.segment)
+            shipper.release(desc.segment)  # second release: no-op, no error
+            assert shipper.stats.segments_created == 1
+        finally:
+            shipper.close()
+
+    def test_excess_free_segments_are_retired(self, plan):
+        delta = delta_from_tasks(0, plan.shards[0].instance.tasks[:3])
+        shipper = ShmShipper()
+        try:
+            descs = [shipper.ship_delta(delta) for _ in range(_MAX_FREE_SEGMENTS + 2)]
+            for desc in descs:
+                shipper.release(desc.segment)
+            assert shipper.stats.segments_retired == 2
+            assert shm_entries(shipper.segment_prefix) != []  # free list kept
+        finally:
+            shipper.close()
+        assert shm_entries(shipper.segment_prefix) == []
+
+    def test_close_unlinks_everything_and_refuses_new_shipments(self, plan):
+        delta = delta_from_tasks(0, plan.shards[0].instance.tasks[:5])
+        shipper = ShmShipper()
+        shipper.ship_delta(delta)  # left live on purpose
+        released = shipper.ship_delta(delta)
+        shipper.release(released.segment)
+        assert shm_entries(shipper.segment_prefix) != []
+        shipper.close()
+        shipper.close()  # idempotent
+        assert shm_entries(shipper.segment_prefix) == []
+        with pytest.raises(RuntimeError, match="closed"):
+            shipper.ship_delta(delta)
+
+    def test_stats_account_bytes_on_both_sides(self, plan):
+        shard = max(plan.shards, key=lambda s: s.task_count)
+        payload = payload_from_shard(shard)
+        stats = TransportStats(transport="shm")
+        shipper = ShmShipper(stats=stats)
+        try:
+            shipper.ship_payload(payload)
+            assert stats.shm_shipments == 1
+            assert stats.shm_bytes >= payload_wire_bytes(payload)
+            assert 0 < stats.descriptor_bytes < 1024
+            assert stats.bytes_over_pipe == stats.descriptor_bytes
+            snapshot = stats.snapshot()
+            assert snapshot["transport"] == "shm"
+            assert snapshot["shard_bytes"] == {payload.shard_id: stats.descriptor_bytes}
+        finally:
+            shipper.close()
+
+
+class TestPoolTransportSelection:
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            PersistentWorkerPool(executor="serial", transport="capnproto")
+        with pytest.raises(ValueError, match="unknown transport"):
+            DistributedCoordinator(
+                SpatialPartitioner(PORTO, 1, 1), transport="capnproto"
+            )
+
+    def test_shm_is_inert_without_a_pipe(self, plan):
+        """Serial/thread pools accept transport='shm' but ship nothing: no
+        pipe exists, so both transports are trivially identical there."""
+        delta = delta_from_tasks(0, plan.shards[0].instance.tasks[:5])
+        for executor in ("serial", "thread"):
+            with PersistentWorkerPool(executor=executor, worker_count=1, transport="shm") as pool:
+                assert not pool.shm_active
+                with pytest.raises(RuntimeError, match="shm-transport process pools"):
+                    pool.shipper
+                token = next_stream_token()
+                pool.submit(
+                    0, _pool_open, token, 0,
+                    plan.shards[0].instance.drivers, plan.shards[0].instance.cost_model,
+                    BatchConfig(window_s=WINDOW_S),
+                ).result()
+                assert pool.submit_append(0, token, delta).result() == delta.task_count
+                assert pool.stats.shm_shipments == 0
+                assert pool.stats.pickle_shipments == 0  # nothing crossed a pipe
+                # Serial/thread sessions live in *this* process — discard
+                # them so the lifecycle tests' registry counts stay clean.
+                pool.submit(0, _pool_discard, token, 0).result()
+
+    def test_failed_shipment_falls_back_to_pickle(self, plan):
+        """A shipping failure degrades throughput, never correctness: the
+        batch is re-sent pickled and counted as a fallback."""
+        shard = max(plan.shards, key=lambda s: s.task_count)
+        delta = delta_from_tasks(shard.spec.shard_id, shard.instance.tasks[:6])
+        with PersistentWorkerPool(
+            executor="process", worker_count=1, transport="shm"
+        ) as pool:
+            token = next_stream_token()
+            pool.submit(
+                0, _pool_open, token, shard.spec.shard_id,
+                shard.instance.drivers, shard.instance.cost_model,
+                BatchConfig(window_s=WINDOW_S),
+            ).result()
+            shipper = pool.shipper
+
+            def refuse(_delta):
+                raise OSError("no shared memory left")
+
+            shipper.ship_delta = refuse
+            count = pool.submit_append(0, token, delta).result()
+            assert count == delta.task_count
+            assert pool.stats.pickle_fallbacks == 1
+            assert pool.stats.pickle_bytes >= delta_wire_bytes(delta)
+
+
+class TestTransportParity:
+    """Parity contract 16: shm == pickle merges, bit for bit."""
+
+    def _offline(self, instance, transport):
+        with DistributedCoordinator(
+            SpatialPartitioner(PORTO, 2, 2),
+            executor="process",
+            max_workers=2,
+            transport=transport,
+        ) as coordinator:
+            result = coordinator.solve(instance, reuse_pool=True)
+            prefix = coordinator.stream_pool().shipper.segment_prefix if transport == "shm" else None
+        if prefix is not None:
+            assert shm_entries(prefix) == []
+        return result
+
+    def test_offline_shm_matches_pickle_and_serial(self, instance):
+        shm = self._offline(instance, "shm")
+        pickle_ = self._offline(instance, "pickle")
+        with DistributedCoordinator(
+            SpatialPartitioner(PORTO, 2, 2), executor="serial"
+        ) as reference:
+            serial = reference.solve(instance)
+        assert solve_fingerprint(shm) == solve_fingerprint(pickle_)
+        assert solve_fingerprint(shm) == solve_fingerprint(serial)
+        # The reports tell the transports apart even though the merges can't.
+        assert shm.report.transport == "shm"
+        assert pickle_.report.transport == "pickle"
+        assert shm.report.shm_bytes > 0
+        assert 0 < shm.report.bytes_over_pipe < pickle_.report.bytes_over_pipe
+        assert shm.report.pickle_fallbacks == 0
+
+    def _stream(self, instance, config, transport):
+        with DistributedCoordinator(
+            SpatialPartitioner(PORTO, 2, 2),
+            executor="process",
+            max_workers=2,
+            transport=transport,
+        ) as coordinator:
+            result = coordinator.solve_stream(instance, config=config)
+            prefix = coordinator.stream_pool().shipper.segment_prefix if transport == "shm" else None
+        if prefix is not None:
+            assert shm_entries(prefix) == []
+        return result
+
+    def test_stream_shm_matches_pickle_and_serial(self, instance):
+        config = BatchConfig(window_s=WINDOW_S)
+        shm = self._stream(instance, config, "shm")
+        pickle_ = self._stream(instance, config, "pickle")
+        with DistributedCoordinator(
+            SpatialPartitioner(PORTO, 2, 2), executor="serial"
+        ) as reference:
+            serial = reference.solve_stream(instance, config=config)
+        assert stream_fingerprint(shm) == stream_fingerprint(pickle_)
+        assert stream_fingerprint(shm) == stream_fingerprint(serial)
+        assert shm.report.transport == "shm"
+        assert shm.report.shm_bytes > 0
+        assert shm.report.pickle_fallbacks == 0
+        # A multi-batch stream recycles segments instead of allocating fresh
+        # ones per batch — that's the steady-state behaviour the free list
+        # exists for.
+        assert shm.report.segment_reuses > 0
+
+    def test_consecutive_streams_report_their_own_traffic(self, instance):
+        """Pool stats are cumulative; per-stream reports must diff against
+        the mark at open, so back-to-back streams don't double count."""
+        config = BatchConfig(window_s=WINDOW_S)
+        with DistributedCoordinator(
+            SpatialPartitioner(PORTO, 2, 2),
+            executor="process",
+            max_workers=2,
+            transport="shm",
+        ) as coordinator:
+            first = coordinator.solve_stream(instance, config=config)
+            second = coordinator.solve_stream(instance, config=config)
+        assert first.report.shm_bytes == second.report.shm_bytes
+        assert first.report.bytes_over_pipe > 0
+        pool_total = first.report.shm_bytes + second.report.shm_bytes
+        assert pool_total == 2 * first.report.shm_bytes

@@ -1,0 +1,207 @@
+"""The pluggable compute-backend registry and its parity contract.
+
+The ``numpy`` backend is the reference: its kernels *are* the canonical
+``geo.batch`` implementations, so routing through the registry must change
+nothing.  Any other backend (``numba`` when importable) must reproduce the
+reference — metric kernels to batch==scalar tolerance (1e-9 km at city
+scale), the fused window assembly element for element, and merged
+coordinator solutions bit-identically (parity contract 16's backend half).
+Numba cases skip when the package is not installed; the registry itself is
+pinned either way.
+"""
+
+import numpy as np
+import pytest
+
+from repro import backends
+from repro.geo.batch import _METRIC_FNS, METRICS, metric_fn
+from repro.online.batch import BatchConfig, BatchedSimulator
+
+from ..conftest import build_random_instance
+
+#: Non-reference backends constructible here (empty without numba installed).
+OTHER_BACKENDS = tuple(n for n in backends.backend_names() if n != "numpy")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+def window_inputs(rng, tasks=7, drivers=5):
+    """Random but geographically plausible window_costs inputs (radians)."""
+    def points(n):
+        lat = np.radians(rng.uniform(41.1, 41.2, size=n))
+        lon = np.radians(rng.uniform(-8.7, -8.5, size=n))
+        return np.column_stack([lat, lon])
+
+    return dict(
+        loc_rad=points(drivers),
+        dest_rad=points(drivers),
+        src_rad=points(tasks),
+        dst_rad=points(tasks),
+        depart=rng.uniform(0.0, 900.0, size=drivers),
+        sdl=rng.uniform(300.0, 1500.0, size=tasks),
+        edl=rng.uniform(1500.0, 3600.0, size=tasks),
+        prices=rng.uniform(4.0, 20.0, size=tasks),
+        ride_durations=rng.uniform(300.0, 1200.0, size=tasks),
+        service_costs=rng.uniform(0.5, 3.0, size=tasks),
+        current_home_km=rng.uniform(0.0, 10.0, size=drivers),
+        driver_end=rng.uniform(3600.0, 10800.0, size=drivers),
+    )
+
+
+def reference_window_costs(metric, scale, speed_kmh, cost_per_km, wait, inputs):
+    """A deliberately naive per-cell reimplementation of the window assembly —
+    independent of both backends, so it can arbitrate between them."""
+    kernel = _METRIC_FNS[metric]
+    t, d = inputs["src_rad"].shape[0], inputs["loc_rad"].shape[0]
+    out = {name: np.empty((t, d)) for name in ("arrival", "dropoff", "approach_cost", "marginal")}
+    feasible = np.empty((t, d), dtype=bool)
+    for i in range(t):
+        for j in range(d):
+            ok = inputs["depart"][j] <= inputs["sdl"][i]
+            approach_km = scale * float(
+                kernel(
+                    inputs["loc_rad"][j, 0], inputs["loc_rad"][j, 1],
+                    inputs["src_rad"][i, 0], inputs["src_rad"][i, 1],
+                )
+            )
+            arrival = inputs["depart"][j] + approach_km / speed_kmh * 3600.0
+            ok = ok and arrival <= inputs["sdl"][i] + 1e-9
+            pickup = max(arrival, inputs["sdl"][i]) if wait else arrival
+            dropoff = pickup + inputs["ride_durations"][i]
+            ok = ok and dropoff <= inputs["edl"][i] + 1e-9
+            home_km = scale * float(
+                kernel(
+                    inputs["dst_rad"][i, 0], inputs["dst_rad"][i, 1],
+                    inputs["dest_rad"][j, 0], inputs["dest_rad"][j, 1],
+                )
+            )
+            ok = ok and dropoff + home_km / speed_kmh * 3600.0 <= inputs["driver_end"][j] + 1e-9
+            feasible[i, j] = ok
+            out["arrival"][i, j] = arrival
+            out["dropoff"][i, j] = dropoff
+            out["approach_cost"][i, j] = approach_km * cost_per_km
+            out["marginal"][i, j] = inputs["prices"][i] - (
+                home_km * cost_per_km
+                + inputs["service_costs"][i]
+                + approach_km * cost_per_km
+                - inputs["current_home_km"][j] * cost_per_km
+            )
+    return feasible, out["arrival"], out["dropoff"], out["approach_cost"], out["marginal"]
+
+
+class TestRegistry:
+    def test_numpy_is_always_available_and_default(self):
+        assert "numpy" in backends.backend_names()
+        assert backends.get_backend().name == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            backends.set_backend("tpu")
+
+    def test_set_backend_returns_the_singleton(self):
+        first = backends.set_backend("numpy")
+        assert backends.set_backend("numpy") is first
+        assert backends.get_backend() is first
+
+    def test_use_backend_restores_previous(self):
+        before = backends.get_backend()
+        with backends.use_backend("numpy") as active:
+            assert backends.get_backend() is active
+        assert backends.get_backend() is before
+
+    def test_use_backend_restores_on_error(self):
+        before = backends.get_backend()
+        with pytest.raises(RuntimeError, match="boom"):
+            with backends.use_backend("numpy"):
+                raise RuntimeError("boom")
+        assert backends.get_backend() is before
+
+    def test_unknown_metric_rejected_by_every_backend(self):
+        for name in backends.backend_names():
+            with pytest.raises(ValueError, match="unknown metric"):
+                backends._instance(name).metric_fn("chebyshev")
+
+    @pytest.mark.skipif(
+        backends.numba_available(), reason="numba present: backend is registered"
+    )
+    def test_numba_backend_absent_without_the_package(self):
+        assert "numba" not in backends.backend_names()
+        with pytest.raises(ValueError, match="unknown backend"):
+            backends.set_backend("numba")
+
+
+class TestMetricRouting:
+    def test_batch_metric_fn_resolves_through_the_active_backend(self):
+        """geo.batch.metric_fn is the registry's front door: on the default
+        backend it returns exactly the canonical kernels."""
+        for metric in METRICS:
+            assert metric_fn(metric) is _METRIC_FNS[metric]
+
+    @pytest.mark.parametrize("other", OTHER_BACKENDS)
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_other_backends_match_numpy_kernels(self, rng, other, metric):
+        lat1, lat2 = np.radians(rng.uniform(41.1, 41.2, size=(2, 64)))
+        lon1, lon2 = np.radians(rng.uniform(-8.7, -8.5, size=(2, 64)))
+        want = _METRIC_FNS[metric](lat1, lon1, lat2, lon2)
+        got = backends._instance(other).metric_fn(metric)(lat1, lon1, lat2, lon2)
+        np.testing.assert_allclose(got, want, rtol=0.0, atol=1e-9)
+
+
+class TestWindowCosts:
+    @pytest.mark.parametrize("name", backends.backend_names())
+    @pytest.mark.parametrize("metric", METRICS)
+    @pytest.mark.parametrize("wait", [False, True])
+    def test_every_backend_matches_the_naive_reference(self, rng, name, metric, wait):
+        inputs = window_inputs(rng)
+        scale, speed, cost = 1.2, 35.0, 0.4
+        want = reference_window_costs(metric, scale, speed, cost, wait, inputs)
+        got = backends._instance(name).window_costs(
+            metric, scale,
+            inputs["loc_rad"], inputs["dest_rad"], inputs["src_rad"], inputs["dst_rad"],
+            inputs["depart"], inputs["sdl"], inputs["edl"], inputs["prices"],
+            inputs["ride_durations"], inputs["service_costs"],
+            inputs["current_home_km"], inputs["driver_end"],
+            speed, cost, wait,
+        )
+        assert np.array_equal(got[0], want[0])  # feasibility is exact
+        for got_m, want_m in zip(got[1:], want[1:]):
+            np.testing.assert_allclose(got_m, want_m, rtol=0.0, atol=1e-9)
+            assert got_m.shape == want_m.shape
+
+    @pytest.mark.parametrize("name", backends.backend_names())
+    def test_empty_window_shapes(self, rng, name):
+        inputs = window_inputs(rng, tasks=0, drivers=3)
+        got = backends._instance(name).window_costs(
+            "haversine", 1.0,
+            inputs["loc_rad"], inputs["dest_rad"], inputs["src_rad"], inputs["dst_rad"],
+            inputs["depart"], inputs["sdl"], inputs["edl"], inputs["prices"],
+            inputs["ride_durations"], inputs["service_costs"],
+            inputs["current_home_km"], inputs["driver_end"],
+            35.0, 0.4, True,
+        )
+        for matrix in got:
+            assert matrix.shape == (0, 3)
+
+
+class TestEndToEndBackendIndependence:
+    """Contract 16's backend half: dispatch outcomes never depend on the
+    selected backend."""
+
+    def _outcome(self, instance):
+        outcome = BatchedSimulator(instance, BatchConfig(window_s=600.0)).run()
+        return (
+            outcome.assignment(),
+            outcome.rejected_tasks,
+            tuple((r.driver_id, r.profit) for r in outcome.records),
+            outcome.total_value,
+        )
+
+    @pytest.mark.parametrize("other", OTHER_BACKENDS)
+    def test_batched_dispatch_is_backend_independent(self, other):
+        instance = build_random_instance(task_count=50, driver_count=12, seed=11)
+        reference = self._outcome(instance)
+        with backends.use_backend(other):
+            assert self._outcome(instance) == reference
