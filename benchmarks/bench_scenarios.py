@@ -135,6 +135,15 @@ def _run_verified_suite(trips, drivers, names, save_json, artifact_name):
         for pool in pools.values():
             pool.close()
 
+    # Acceptance criterion of the exact-tier ROADMAP item: every published
+    # row carries the optimality-gap columns, and the gap is never negative.
+    for row in (row.as_dict() for row in suite.rows):
+        for key in ("greedy_revenue", "lp_revenue", "lagrangian_bound", "optimality_gap"):
+            assert row[key] is not None, f"row {row['scenario']}/{row['mode']} lost {key}"
+        assert row["optimality_gap"] >= 0.0
+        assert row["greedy_revenue"] <= row["lp_revenue"] + 1e-6
+        assert row["lp_revenue"] <= row["lagrangian_bound"] + 1e-6
+
     all_parity = all(
         record["compile_deterministic"]
         and record["offline_parity"]

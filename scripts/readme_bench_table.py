@@ -36,6 +36,7 @@ SMOKE_NAMES = (
     "BENCH_scenarios_smoke",
     "BENCH_service_soak_smoke",
     "BENCH_city_scale_smoke",
+    "BENCH_optimality_gap_smoke",
 )
 
 
@@ -167,6 +168,23 @@ def _row_city_scale(d: dict) -> list[str]:
     ]
 
 
+def _row_optimality_gap(d: dict) -> list[str]:
+    records = d.get("records", {})
+    greedy_gaps = [r["greedy_gap"] for r in records.values()]
+    auto_greedy = sum(r["auto_greedy_shards"] for r in records.values())
+    auto_total = auto_greedy + sum(r["auto_lp_shards"] for r in records.values())
+    parity = d.get("lp_parity", False) and d.get("auto_parity", False)
+    return [
+        "`BENCH_optimality_gap.json` — exact tier (LP) with certified error bars",
+        f"{d['scenario_count']} scenarios, {d['worker_count']} workers, "
+        f"{d['grid']} grid",
+        f"{_parity(parity)} (lp/auto merges across executors), shipped gap "
+        f"≤ **{d['max_optimality_gap']:.2%}**, greedy error bar "
+        f"{min(greedy_gaps):.2%}–{max(greedy_gaps):.2%}, auto kept greedy on "
+        f"{auto_greedy}/{auto_total} shards",
+    ]
+
+
 ROW_BUILDERS = {
     "BENCH_distributed_scaling": _row_distributed_scaling,
     "BENCH_streaming_append": _row_streaming_append,
@@ -175,6 +193,7 @@ ROW_BUILDERS = {
     "BENCH_scenarios": _row_scenarios,
     "BENCH_service_soak": _row_service_soak,
     "BENCH_city_scale": _row_city_scale,
+    "BENCH_optimality_gap": _row_optimality_gap,
 }
 
 

@@ -97,10 +97,15 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--market", required=True, help="market JSON produced by build-market")
     solve.add_argument(
         "--algorithm",
-        choices=["greedy", "maxMargin", "nearest", "batched", "exact"],
+        choices=["greedy", "maxMargin", "nearest", "batched", "exact", "lp", "auto"],
         default="greedy",
     )
     solve.add_argument("--batch-window", type=float, default=60.0, help="batched: window in seconds")
+    solve.add_argument(
+        "--gap-threshold", type=float, default=0.02,
+        help="lp/auto: relative optimality-gap threshold below which 'auto' "
+        "keeps the greedy solution instead of solving the LP",
+    )
     solve.add_argument(
         "--stream",
         action=argparse.BooleanOptionalAction,
@@ -187,9 +192,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario_run.add_argument(
         "--solver",
-        choices=["greedy", "nearest", "maxMargin"],
+        choices=["greedy", "nearest", "maxMargin", "lp", "auto"],
         default="greedy",
-        help="offline mode only: the shard solver",
+        help="offline mode only: the shard solver ('lp'/'auto' run the exact "
+        "tier and report per-scenario optimality gaps)",
+    )
+    scenario_run.add_argument(
+        "--gap-threshold", type=float, default=0.02,
+        help="lp/auto solvers: relative gap below which 'auto' keeps greedy "
+        "on a shard",
     )
     scenario_run.add_argument("--trips", type=int, help="rescale the scenario's demand volume")
     scenario_run.add_argument("--drivers", type=int, help="rescale the scenario's fleet")
@@ -229,6 +240,17 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_compare.add_argument(
         "--grid", default="2x2", metavar="RxC",
         help="shard grid over each scenario's service region",
+    )
+    scenario_compare.add_argument(
+        "--bounds",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the exact tier once per scenario and stamp optimality-gap "
+        "columns (greedy/lp revenue, Lagrangian bound) onto every row",
+    )
+    scenario_compare.add_argument(
+        "--gap-threshold", type=float, default=0.02,
+        help="relative gap below which the 'auto' solver keeps greedy on a shard",
     )
 
     serve = subparsers.add_parser(
@@ -372,11 +394,19 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         raise SystemExit("--executor and --grid only apply to --stream solves")
     if args.stream:
         return _cmd_solve_stream(args, instance)
+    bounds = None
     if args.algorithm == "greedy":
         result = greedy_assignment(instance)
         summary = result.summary()
     elif args.algorithm == "exact":
         result = exact_optimum(instance).solution
+        summary = result.summary()
+    elif args.algorithm in ("lp", "auto"):
+        from .offline import solve_exact_tier
+
+        result, bounds = solve_exact_tier(
+            instance, mode=args.algorithm, gap_threshold=args.gap_threshold
+        )
         summary = result.summary()
     elif args.algorithm == "batched":
         from .online.batch import BatchConfig
@@ -389,6 +419,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         result, summary = outcome, outcome.summary()
 
     print(f"algorithm: {args.algorithm}")
+    if bounds is not None:
+        print(f"exact tier chose: {bounds.chosen_solver}")
+        print(format_metric_dict(bounds.as_dict()))
     print(format_metric_dict(summary))
     if args.output:
         if hasattr(result, "plans"):
@@ -521,10 +554,19 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             SpatialPartitioner(spec.region, rows, cols),
             solver_name=args.solver,
             executor=args.executor,
+            gap_threshold=args.gap_threshold,
         ) as coordinator:
             if args.mode == "offline":
                 result = coordinator.solve(compiled.instance)
                 print(f"mode: offline-{args.solver} ({args.executor}, {rows}x{cols} grid)")
+                report = result.report
+                if report.bounds_reported:
+                    print(
+                        "bounds: greedy "
+                        f"{report.greedy_revenue:.4f} <= lp {report.lp_revenue:.4f} "
+                        f"<= bound {report.upper_bound:.4f} "
+                        f"(gap {report.optimality_gap:.4%})"
+                    )
                 print(format_metric_dict(result.solution.summary()))
             else:
                 result = coordinator.solve_stream(
@@ -571,6 +613,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             rows=rows,
             cols=cols,
             executor=args.executor,
+            bounds=args.bounds,
+            gap_threshold=args.gap_threshold,
         )
         print(suite.render())
         return 0

@@ -110,6 +110,7 @@ from ..market.cost import MarketCostModel
 from ..market.driver import Driver
 from ..market.instance import MarketInstance
 from ..market.task import Task
+from ..offline.flow import ShardBounds, solve_exact_tier
 from ..offline.greedy import GreedySolver
 from ..online.batch import BatchConfig, stream_schedule
 from ..online.dispatchers import MaxMarginDispatcher, NearestDispatcher
@@ -152,7 +153,11 @@ from .transport import (
 )
 
 #: Shard solvers available to workers, by name.
-SOLVER_NAMES = ("greedy", "nearest", "maxMargin")
+SOLVER_NAMES = ("greedy", "nearest", "maxMargin", "lp", "auto")
+
+#: The exact-tier solvers: shards come back with a :class:`ShardBounds`
+#: sandwich (greedy incumbent, LP value, LP + Lagrangian bounds) attached.
+EXACT_SOLVER_NAMES = ("lp", "auto")
 
 #: Executor policies accepted by the coordinator.
 EXECUTOR_POLICIES = ("serial", "thread", "process")
@@ -160,11 +165,15 @@ EXECUTOR_POLICIES = ("serial", "thread", "process")
 
 def _solve_instance(
     instance: MarketInstance, request: ShardWorkRequest
-) -> Tuple[Dict[str, Tuple[int, ...]], Dict[str, float], float, int]:
+) -> Tuple[
+    Dict[str, Tuple[int, ...]], Dict[str, float], float, int, Optional[ShardBounds]
+]:
     """Run the requested solver on one (sub-)instance.
 
-    Returns ``(assignment, driver_profits, total_value, served_count)`` with
-    the assignment in shard-local task indices.
+    Returns ``(assignment, driver_profits, total_value, served_count,
+    bounds)`` with the assignment in shard-local task indices; ``bounds`` is
+    the exact tier's :class:`ShardBounds` record ("lp"/"auto" solvers only,
+    ``None`` otherwise).
     """
     if request.solver_name == "greedy":
         solution = GreedySolver().solve(instance).solution
@@ -172,7 +181,30 @@ def _solve_instance(
         driver_profits = {
             plan.driver_id: plan.profit for plan in solution.iter_nonempty_plans()
         }
-        return assignment, driver_profits, solution.total_value, solution.served_count
+        return (
+            assignment,
+            driver_profits,
+            solution.total_value,
+            solution.served_count,
+            None,
+        )
+    if request.solver_name in EXACT_SOLVER_NAMES:
+        solution, bounds = solve_exact_tier(
+            instance,
+            mode=request.solver_name,
+            gap_threshold=request.gap_threshold,
+        )
+        assignment = solution.assignment()
+        driver_profits = {
+            plan.driver_id: plan.profit for plan in solution.iter_nonempty_plans()
+        }
+        return (
+            assignment,
+            driver_profits,
+            solution.total_value,
+            solution.served_count,
+            bounds,
+        )
     dispatcher = (
         NearestDispatcher(seed=request.seed)
         if request.solver_name == "nearest"
@@ -185,7 +217,7 @@ def _solve_instance(
         for record in outcome.records
         if record.task_indices
     }
-    return assignment, driver_profits, outcome.total_value, outcome.served_count
+    return assignment, driver_profits, outcome.total_value, outcome.served_count, None
 
 
 def solve_shard(shard: MarketShard, request: ShardWorkRequest) -> ShardWorkResult:
@@ -198,8 +230,13 @@ def solve_shard(shard: MarketShard, request: ShardWorkRequest) -> ShardWorkResul
             driver_profits: Dict[str, float] = {}
             total_value = 0.0
             served = 0
+            bounds = (
+                ShardBounds.zero()
+                if request.solver_name in EXACT_SOLVER_NAMES
+                else None
+            )
         else:
-            assignment, driver_profits, total_value, served = _solve_instance(
+            assignment, driver_profits, total_value, served, bounds = _solve_instance(
                 shard.instance, request
             )
     return ShardWorkResult(
@@ -210,6 +247,7 @@ def solve_shard(shard: MarketShard, request: ShardWorkRequest) -> ShardWorkResul
         total_value=total_value,
         served_count=served,
         elapsed_s=watch.elapsed_s,
+        bounds=bounds,
     )
 
 
@@ -223,7 +261,7 @@ def solve_shard_payload(payload: ShardPayload, request: ShardWorkRequest) -> Sha
     if request.solver_name not in SOLVER_NAMES:
         raise ValueError(f"unknown solver {request.solver_name!r}; expected one of {SOLVER_NAMES}")
     with Stopwatch() as watch:
-        assignment, driver_profits, total_value, served = _solve_instance(
+        assignment, driver_profits, total_value, served, bounds = _solve_instance(
             instance_from_payload(payload), request
         )
     return ShardWorkResult(
@@ -234,6 +272,7 @@ def solve_shard_payload(payload: ShardPayload, request: ShardWorkRequest) -> Sha
         total_value=total_value,
         served_count=served,
         elapsed_s=watch.elapsed_s,
+        bounds=bounds,
     )
 
 
@@ -286,6 +325,11 @@ def _empty_shard_result(shard: MarketShard, request: ShardWorkRequest) -> ShardW
         total_value=0.0,
         served_count=0,
         elapsed_s=0.0,
+        bounds=(
+            ShardBounds.zero()
+            if request.solver_name in EXACT_SOLVER_NAMES
+            else None
+        ),
     )
 
 
@@ -843,7 +887,14 @@ class DistributedCoordinator:
     partitioner:
         The spatial partitioner producing disjoint-task shards.
     solver_name:
-        Shard solver: ``"greedy"``, ``"nearest"`` or ``"maxMargin"``.
+        Shard solver: ``"greedy"``, ``"nearest"``, ``"maxMargin"``, or the
+        exact tier — ``"lp"`` (per-shard arc-flow LP, certified or repaired,
+        see :mod:`repro.offline.flow`) and ``"auto"`` (LP only on shards
+        whose greedy solution is not already within ``gap_threshold`` of the
+        Lagrangian bound).  The exact tier attaches a per-shard
+        :class:`~repro.offline.flow.ShardBounds` sandwich to every result,
+        surfaced as ``CoordinatorReport.per_shard_bounds`` and the
+        ``optimality_gap`` aggregates.
     executor:
         Fan-out policy: ``"serial"``, ``"thread"`` or ``"process"`` (see the
         module docstring for how to choose).  Defaults to ``"serial"`` unless
@@ -867,6 +918,10 @@ class DistributedCoordinator:
     backend:
         Optional compute backend (:mod:`repro.backends`) selected in every
         pool worker; merged solutions are backend-independent (contract 16).
+    gap_threshold:
+        Relative-gap knob for ``solver_name="auto"``: shards whose greedy
+        value is within this fraction of the Lagrangian bound skip the LP
+        ("greedy is good enough").  Ignored by the other solvers.
     """
 
     def __init__(
@@ -879,6 +934,7 @@ class DistributedCoordinator:
         base_seed: int = 0,
         transport: str = "pickle",
         backend: Optional[str] = None,
+        gap_threshold: float = 0.02,
     ) -> None:
         if solver_name not in SOLVER_NAMES:
             raise ValueError(f"unknown solver {solver_name!r}; expected one of {SOLVER_NAMES}")
@@ -897,6 +953,7 @@ class DistributedCoordinator:
         self.base_seed = base_seed
         self.transport = transport
         self.backend = backend
+        self.gap_threshold = gap_threshold
         self._stream_pool: Optional[PersistentWorkerPool] = None
 
     @property
@@ -1091,6 +1148,7 @@ class DistributedCoordinator:
                 task_count=shard.task_count,
                 solver_name=self.solver_name,
                 seed=self.base_seed + shard.spec.shard_id,
+                gap_threshold=self.gap_threshold,
             )
             for shard in plan.shards
         ]
@@ -1157,6 +1215,11 @@ class DistributedCoordinator:
             shm_bytes=shm_bytes,
             segment_reuses=segment_reuses,
             pickle_fallbacks=pickle_fallbacks,
+            per_shard_bounds=(
+                tuple(r.bounds for r in solved)
+                if self.solver_name in EXACT_SOLVER_NAMES
+                else ()
+            ),
         )
         return DistributedResult(solution=solution, report=report, plan=plan)
 
@@ -1265,14 +1328,15 @@ class DistributedCoordinator:
     ) -> MarketSolution:
         """Assemble the global solution from the shard results.
 
-        For the greedy shard solver the plans are valid task-map paths and the
-        solution is rebuilt (and revalidated) through the standard
-        constructor.  The online shard solvers may chain tasks that the
-        deadline-based task map rules out (a driver who finishes early can
-        legally reach them), so their plans carry the profits computed by the
-        simulator instead of being re-derived from the task map.
+        For the greedy and exact-tier shard solvers the plans are valid
+        task-map paths and the solution is rebuilt (and revalidated) through
+        the standard constructor.  The online shard solvers may chain tasks
+        that the deadline-based task map rules out (a driver who finishes
+        early can legally reach them), so their plans carry the profits
+        computed by the simulator instead of being re-derived from the task
+        map.
         """
-        if self.solver_name == "greedy":
+        if self.solver_name == "greedy" or self.solver_name in EXACT_SOLVER_NAMES:
             return MarketSolution.from_assignment(instance, merged, Objective.DRIVERS_PROFIT)
         plans = tuple(
             DriverPlan(

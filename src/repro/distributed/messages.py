@@ -13,7 +13,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, keeps scipy off this path
+    from ..offline.flow import ShardBounds
+
+
+def _relative_gap(value: float, bound: float) -> float:
+    """Relative gap, clamped >= 0 (same rule as ``repro.offline.flow``)."""
+    return max(0.0, bound - value) / max(abs(bound), 1e-9)
 
 
 @dataclass(frozen=True, slots=True)
@@ -23,13 +31,18 @@ class ShardWorkRequest:
     shard_id: int
     driver_count: int
     task_count: int
-    #: Which solver the worker should run ("greedy", "nearest", "maxMargin").
+    #: Which solver the worker should run ("greedy", "nearest", "maxMargin",
+    #: "lp", "auto").
     solver_name: str
     #: Seed for the shard's stochastic tie-breaking (random/nearest dispatch).
     #: The coordinator derives it deterministically from its base seed and the
     #: shard id, so any executor — serial, thread pool or process pool —
     #: hands every shard the same seed and the merged solution is identical.
     seed: int = 0
+    #: Relative-gap knob for the exact tier: ``solver_name="auto"`` keeps the
+    #: greedy solution on shards whose gap against the Lagrangian bound is
+    #: already below this threshold (ignored by the other solvers).
+    gap_threshold: float = 0.02
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,6 +58,9 @@ class ShardWorkResult:
     total_value: float
     served_count: int
     elapsed_s: float
+    #: Bound sandwich computed by the exact tier (``solver_name`` "lp"/"auto");
+    #: ``None`` for the heuristic solvers.
+    bounds: Optional["ShardBounds"] = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -94,6 +110,71 @@ class CoordinatorReport:
     segment_reuses: int = 0
     #: Shm shipments that fell back to pickling (degraded environment).
     pickle_fallbacks: int = 0
+    #: Per-shard bound sandwiches in shard order, when the exact tier ran
+    #: (``solver_name`` "lp"/"auto"); degenerate shards carry the zero record,
+    #: heuristic solvers leave the tuple empty.
+    per_shard_bounds: Tuple[Optional["ShardBounds"], ...] = ()
+
+    # ------------------------------------------------------------------
+    # optimality-gap aggregates (exact tier only)
+    # ------------------------------------------------------------------
+    @property
+    def bounds_reported(self) -> bool:
+        """Whether the exact tier ran and every shard carries bounds."""
+        return bool(self.per_shard_bounds) and all(
+            b is not None for b in self.per_shard_bounds
+        )
+
+    @property
+    def greedy_revenue(self) -> float:
+        """Summed greedy objective value across shards (NaN without bounds).
+
+        "Revenue" here is the objective the solvers optimise — drivers'
+        profit (Eq. 4) or social welfare — matching the ROADMAP's
+        "revenue with error bars" naming, not the fare total.
+        """
+        if not self.bounds_reported:
+            return float("nan")
+        return sum(b.greedy_value for b in self.per_shard_bounds)
+
+    @property
+    def lp_revenue(self) -> float:
+        """Summed exact-tier objective value across shards (NaN without bounds)."""
+        if not self.bounds_reported:
+            return float("nan")
+        return sum(b.lp_value for b in self.per_shard_bounds)
+
+    @property
+    def lagrangian_bound(self) -> float:
+        """Summed per-shard Lagrangian bounds (NaN without bounds)."""
+        if not self.bounds_reported:
+            return float("nan")
+        return sum(b.lagrangian_bound for b in self.per_shard_bounds)
+
+    @property
+    def upper_bound(self) -> float:
+        """Summed per-shard certified bounds — each shard contributes its
+        tightest (min of LP and Lagrangian), so the sum bounds the sharded
+        optimum (NaN without bounds)."""
+        if not self.bounds_reported:
+            return float("nan")
+        return sum(b.upper_bound for b in self.per_shard_bounds)
+
+    @property
+    def optimality_gap(self) -> float:
+        """Relative gap of the shipped solution against the certified bound,
+        clamped >= 0 (NaN without bounds)."""
+        if not self.bounds_reported:
+            return float("nan")
+        return _relative_gap(self.lp_revenue, self.upper_bound)
+
+    @property
+    def greedy_gap(self) -> float:
+        """Relative gap of the greedy incumbent against the certified bound —
+        the scenario-level "error bar" (NaN without bounds)."""
+        if not self.bounds_reported:
+            return float("nan")
+        return _relative_gap(self.greedy_revenue, self.upper_bound)
 
 
 @dataclass(frozen=True, slots=True)

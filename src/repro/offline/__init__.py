@@ -8,6 +8,15 @@ from .exact import (
     brute_force_optimum,
     exact_optimum,
 )
+from .flow import (
+    DEFAULT_GAP_THRESHOLD,
+    FlowResult,
+    FlowSolverError,
+    ShardBounds,
+    lp_flow_optimum,
+    relative_gap,
+    solve_exact_tier,
+)
 from .formulation import ArcFlowModel, build_arc_flow_model
 from .greedy import GreedyResult, GreedySolver, GreedyStats, greedy_assignment
 from .lagrangian import LagrangianResult, lagrangian_bound
@@ -36,6 +45,13 @@ __all__ = [
     "exact_optimum",
     "brute_force_optimum",
     "DEFAULT_SIZE_LIMIT",
+    "FlowResult",
+    "FlowSolverError",
+    "ShardBounds",
+    "DEFAULT_GAP_THRESHOLD",
+    "lp_flow_optimum",
+    "relative_gap",
+    "solve_exact_tier",
     "TightExample",
     "build_tight_example",
 ]

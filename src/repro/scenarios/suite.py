@@ -17,6 +17,12 @@ scenario needs a rebalance policy while a rainy day does not.  The first
 offline solve's load report also feeds the pool's LPT placement
 (``solve(pool=..., load_report=...)``) for the remaining solvers, so the
 suite itself exercises the load round trip it reports on.
+
+With ``bounds=True`` (the default) every scenario additionally runs the
+exact tier once (``solver="lp"``, :mod:`repro.offline.flow`) and stamps the
+scenario's bound sandwich — greedy value, LP value, Lagrangian bound and the
+greedy optimality gap — onto each of its rows, so the suite reports numbers
+*with error bars* (the "Exact tier at scale" ROADMAP item).
 """
 
 from __future__ import annotations
@@ -36,7 +42,11 @@ from .library import get_scenario
 from .spec import ScenarioSpec
 
 #: Offline shard solvers the suite can sweep (mirrors the coordinator's).
-OFFLINE_SOLVERS = ("greedy", "nearest", "maxMargin")
+OFFLINE_SOLVERS = ("greedy", "nearest", "maxMargin", "lp", "auto")
+
+
+def _json_float(value: float) -> Optional[float]:
+    return None if math.isnan(value) else value
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,10 +69,27 @@ class ScenarioRunMetrics:
     #: Hottest shard's task load over the mean (1.0 = perfectly balanced).
     shard_skew: float
     wall_clock_s: float
+    #: Scenario-level bound sandwich from the exact tier's sharded solve
+    #: (``bounds=True``): greedy and LP *objective* values and the summed
+    #: per-shard Lagrangian bound.  Every row of a scenario shares the same
+    #: values — they are properties of the scenario, not of the row's mode —
+    #: so each scenario's numbers carry their error bar wherever the rows
+    #: travel.  NaN when the bounds pass was disabled.
+    greedy_revenue: float = float("nan")
+    lp_revenue: float = float("nan")
+    lagrangian_bound: float = float("nan")
+    #: Relative gap of the greedy incumbent against the certified upper
+    #: bound (min of LP and Lagrangian per shard, summed) — how far the
+    #: heuristic tier can be from the sharded optimum; always >= 0.  The
+    #: stream rows keep the same offline-referenced gap: an online dispatch
+    #: may legally chain tasks the offline task-map DAG rules out, so the
+    #: DAG bound does not bound stream revenue.
+    optimality_gap: float = float("nan")
 
     def as_dict(self) -> Dict[str, object]:
-        """JSON-safe view: the offline modes' NaN wait becomes ``None`` so
-        artifacts built from these rows stay valid strict JSON."""
+        """JSON-safe view: the offline modes' NaN wait (and the NaN bound
+        columns of a boundless run) become ``None`` so artifacts built from
+        these rows stay valid strict JSON."""
         return {
             "scenario": self.scenario,
             "mode": self.mode,
@@ -73,9 +100,13 @@ class ScenarioRunMetrics:
             "serve_rate": self.serve_rate,
             "total_value": self.total_value,
             "total_revenue": self.total_revenue,
-            "mean_wait_s": None if math.isnan(self.mean_wait_s) else self.mean_wait_s,
+            "mean_wait_s": _json_float(self.mean_wait_s),
             "shard_skew": self.shard_skew,
             "wall_clock_s": self.wall_clock_s,
+            "greedy_revenue": _json_float(self.greedy_revenue),
+            "lp_revenue": _json_float(self.lp_revenue),
+            "lagrangian_bound": _json_float(self.lagrangian_bound),
+            "optimality_gap": _json_float(self.optimality_gap),
         }
 
 
@@ -103,7 +134,7 @@ class ScenarioSuiteResult:
         """The per-scenario metrics comparison as an aligned text table."""
         headers = (
             "scenario", "mode", "tasks", "drivers", "serve_rate",
-            "total_value", "revenue", "wait_s", "shard_skew", "wall_s",
+            "total_value", "revenue", "wait_s", "shard_skew", "opt_gap", "wall_s",
         )
         table_rows = [
             (
@@ -116,6 +147,7 @@ class ScenarioSuiteResult:
                 row.total_revenue,
                 "-" if math.isnan(row.mean_wait_s) else f"{row.mean_wait_s:.1f}",
                 row.shard_skew,
+                "-" if math.isnan(row.optimality_gap) else f"{row.optimality_gap:.4f}",
                 row.wall_clock_s,
             )
             for row in self.rows
@@ -150,6 +182,8 @@ def run_scenario_suite(
     executor: str = "serial",
     worker_count: Optional[int] = None,
     pool: Optional[PersistentWorkerPool] = None,
+    bounds: bool = True,
+    gap_threshold: float = 0.02,
 ) -> ScenarioSuiteResult:
     """Sweep scenarios x dispatch modes on one warm worker pool.
 
@@ -170,6 +204,16 @@ def run_scenario_suite(
     pool:
         An externally owned warm pool — the suite never closes it, so one
         pool can serve many suites (and interleave with other work).
+    bounds:
+        Run the exact tier (``solver="lp"``) once per scenario and stamp the
+        scenario's bound sandwich — ``greedy_revenue``, ``lp_revenue``,
+        ``lagrangian_bound``, ``optimality_gap`` — onto every row, turning
+        the suite's numbers into numbers with error bars.  When ``"lp"`` is
+        among ``solvers`` the bounds pass doubles as that row (no second
+        solve); disable to skip the LP cost entirely (the columns are NaN).
+    gap_threshold:
+        Relative-gap knob forwarded to the exact tier (used by ``"auto"``
+        rows; the bounds pass itself always solves the LP).
     """
     specs = _resolve_specs(scenarios)
     for solver in solvers:
@@ -186,7 +230,8 @@ def run_scenario_suite(
             compiled = compile_scenario(spec)
             metrics.extend(
                 _run_one(compiled, solvers=solvers, stream=stream,
-                         rows=rows, cols=cols, pool=pool)
+                         rows=rows, cols=cols, pool=pool,
+                         bounds=bounds, gap_threshold=gap_threshold)
             )
     finally:
         if own_pool:
@@ -204,21 +249,57 @@ def _run_one(
     rows: int,
     cols: int,
     pool: PersistentWorkerPool,
+    bounds: bool = True,
+    gap_threshold: float = 0.02,
 ) -> List[ScenarioRunMetrics]:
     """All modes of one compiled scenario on the shared pool."""
     spec = compiled.spec
     instance = compiled.instance
     out: List[ScenarioRunMetrics] = []
     load_report: Optional[ShardLoadReport] = None
-    for solver in solvers:
-        coordinator = DistributedCoordinator(
+
+    def coordinator_for(solver: str) -> DistributedCoordinator:
+        return DistributedCoordinator(
             SpatialPartitioner(spec.region, rows, cols),
             solver_name=solver,
             executor=pool.executor,
+            gap_threshold=gap_threshold,
         )
+
+    # Bounds pass: one exact-tier solve per scenario; its report carries the
+    # scenario's error bar (columns stamped onto every row below), and —
+    # when "lp" is among the requested solvers — it *is* that row's solve.
+    bound_columns = {
+        "greedy_revenue": float("nan"),
+        "lp_revenue": float("nan"),
+        "lagrangian_bound": float("nan"),
+        "optimality_gap": float("nan"),
+    }
+    lp_precomputed = None
+    if bounds:
         start = time.perf_counter()
-        result = coordinator.solve(instance, pool=pool, load_report=load_report)
-        wall = time.perf_counter() - start
+        lp_result = coordinator_for("lp").solve(instance, pool=pool)
+        lp_wall = time.perf_counter() - start
+        lp_precomputed = (lp_result, lp_wall)
+        report = lp_result.report
+        bound_columns = {
+            "greedy_revenue": report.greedy_revenue,
+            "lp_revenue": report.lp_revenue,
+            "lagrangian_bound": report.lagrangian_bound,
+            "optimality_gap": report.greedy_gap,
+        }
+        # The bounds pass's skew steers slot placement for every later solve.
+        load_report = ShardLoadReport.from_prior(lp_result)
+
+    for solver in solvers:
+        if solver == "lp" and lp_precomputed is not None:
+            result, wall = lp_precomputed
+        else:
+            start = time.perf_counter()
+            result = coordinator_for(solver).solve(
+                instance, pool=pool, load_report=load_report
+            )
+            wall = time.perf_counter() - start
         report = ShardLoadReport.from_prior(result)
         if load_report is None:
             # The first solve's skew steers slot placement for the rest.
@@ -238,6 +319,7 @@ def _run_one(
                 mean_wait_s=float("nan"),
                 shard_skew=report.max_over_mean,
                 wall_clock_s=wall,
+                **bound_columns,
             )
         )
     if stream:
@@ -266,6 +348,7 @@ def _run_one(
                 mean_wait_s=result.report.mean_wait_s,
                 shard_skew=ShardLoadReport.from_prior(result).max_over_mean,
                 wall_clock_s=wall,
+                **bound_columns,
             )
         )
     return out

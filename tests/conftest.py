@@ -5,6 +5,14 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import settings
+
+# Deterministic hypothesis runs everywhere (CI and local): derandomize pins
+# the example stream to the test's source hash, no wall-clock deadline flakes,
+# and a bounded example budget keeps the property suites cheap.  Individual
+# tests may still lower max_examples with their own @settings.
+settings.register_profile("repro-ci", derandomize=True, deadline=None, max_examples=50)
+settings.load_profile("repro-ci")
 
 from repro.geo import GeoPoint, HaversineEstimator, TravelModel
 from repro.market.cost import MarketCostModel

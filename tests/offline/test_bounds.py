@@ -196,3 +196,47 @@ class TestLagrangianBound:
         lagr = lagrangian_bound(small, iterations=60, target_value=greedy).upper_bound
         assert lagr >= lp - 1e-6
         assert lagr <= lp * 1.5 + 1.0
+
+
+class TestLagrangianConvergence:
+    """Convergence behaviour of the subgradient loop (exact-tier satellite):
+    the *reported* bound is a running minimum over the trajectory, so it is
+    monotone by construction — and no iterate may ever dip below a feasible
+    incumbent, or the "bound" would not be one."""
+
+    def test_running_minimum_is_monotone_non_increasing(self, small):
+        result = lagrangian_bound(small, iterations=30)
+        best_so_far = np.minimum.accumulate(result.bounds_per_iteration)
+        assert (np.diff(best_so_far) <= 1e-9).all()
+        assert result.upper_bound == pytest.approx(best_so_far[-1])
+
+    def test_no_iterate_below_the_incumbent(self, small):
+        """Every L(lambda_k) is a valid upper bound on Z*, hence on any
+        feasible value — including greedy's — at every single iteration."""
+        greedy = greedy_assignment(small).total_value
+        for target in (None, greedy):
+            result = lagrangian_bound(small, iterations=30, target_value=target)
+            for k, bound in enumerate(result.bounds_per_iteration):
+                assert bound >= greedy - 1e-6, f"iterate {k} dipped below greedy"
+
+    def test_no_iterate_below_the_exact_optimum(self, small):
+        exact = exact_optimum(small).optimum
+        result = lagrangian_bound(small, iterations=30, target_value=exact)
+        assert min(result.bounds_per_iteration) >= exact - 1e-6
+
+    def test_more_iterations_never_loosen_the_bound(self, small):
+        greedy = greedy_assignment(small).total_value
+        bounds = [
+            lagrangian_bound(small, iterations=n, target_value=greedy).upper_bound
+            for n in (1, 5, 15, 40)
+        ]
+        assert (np.diff(bounds) <= 1e-9).all()
+
+    def test_trajectory_prefix_property(self, small):
+        """Iterate k depends only on iterates < k, so a shorter run is a
+        strict prefix of a longer one — the determinism the per-shard bounds
+        in parity contract 17 rely on."""
+        greedy = greedy_assignment(small).total_value
+        short = lagrangian_bound(small, iterations=8, target_value=greedy)
+        long = lagrangian_bound(small, iterations=20, target_value=greedy)
+        assert long.bounds_per_iteration[:8] == short.bounds_per_iteration

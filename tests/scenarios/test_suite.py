@@ -104,3 +104,71 @@ class TestSuite:
             "serve_rate", "total_value", "total_revenue",
             "mean_wait_s", "shard_skew", "wall_clock_s",
         }
+
+
+class TestBoundsColumns:
+    """Every row of a bounded suite carries the optimality-gap columns the
+    benchmarks publish (greedy/lp revenue, Lagrangian bound, gap >= 0)."""
+
+    def test_every_row_carries_the_gap_columns(self):
+        suite = run_scenario_suite(
+            [get_scenario("morning-surge").with_scale(TRIPS, DRIVERS)],
+            solvers=("greedy", "lp"),
+            stream=True,
+            executor="serial",
+        )
+        for row in suite.rows:
+            assert not math.isnan(row.greedy_revenue)
+            assert not math.isnan(row.lp_revenue)
+            assert not math.isnan(row.lagrangian_bound)
+            assert row.optimality_gap >= 0.0
+            assert row.greedy_revenue <= row.lp_revenue + 1e-6
+            assert row.lp_revenue <= row.lagrangian_bound + 1e-6
+        lp_row = next(r for r in suite.rows if r.mode == "offline-lp")
+        assert lp_row.total_value == pytest.approx(lp_row.lp_revenue, rel=1e-9)
+        greedy_row = next(r for r in suite.rows if r.mode == "offline-greedy")
+        assert greedy_row.total_value == pytest.approx(greedy_row.greedy_revenue, rel=1e-9)
+
+    def test_columns_are_scenario_level_and_identical_across_rows(self):
+        suite = run_scenario_suite(
+            [get_scenario("rainy-day").with_scale(TRIPS, DRIVERS)],
+            solvers=("greedy", "nearest"),
+            stream=True,
+            executor="serial",
+        )
+        gaps = {row.optimality_gap for row in suite.rows}
+        assert len(gaps) == 1
+
+    def test_bounds_off_leaves_nan_columns(self):
+        suite = run_scenario_suite(
+            [get_scenario("driver-strike").with_scale(TRIPS, DRIVERS)],
+            solvers=("greedy",),
+            stream=False,
+            bounds=False,
+        )
+        (row,) = suite.rows
+        assert math.isnan(row.optimality_gap)
+        record = row.as_dict()
+        assert record["optimality_gap"] is None
+        assert record["lp_revenue"] is None
+
+    def test_as_dict_serialises_the_gap_columns(self):
+        suite = run_scenario_suite(
+            [get_scenario("stadium-event").with_scale(TRIPS, DRIVERS)],
+            solvers=("auto",),
+            stream=False,
+        )
+        (row,) = suite.rows
+        record = row.as_dict()
+        assert set(record) >= {
+            "greedy_revenue", "lp_revenue", "lagrangian_bound", "optimality_gap",
+        }
+        assert record["optimality_gap"] >= 0.0
+
+    def test_render_shows_the_gap_column(self):
+        suite = run_scenario_suite(
+            [get_scenario("airport-corridor").with_scale(TRIPS, DRIVERS)],
+            solvers=("lp",),
+            stream=False,
+        )
+        assert "opt_gap" in suite.render()

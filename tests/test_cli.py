@@ -289,3 +289,62 @@ class TestScenarioCommand:
     def test_experiment_scenarios_requires_figure_all(self):
         with pytest.raises(SystemExit):
             main(["experiment", "--figure", "fig3-4", "--scenarios", "all"])
+
+
+class TestExactTierCli:
+    @pytest.fixture(scope="class")
+    def market_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-lp") / "market.json"
+        assert main(
+            ["build-market", "--trips", "30", "--drivers", "8", "--seed", "5",
+             "--output", str(path)]
+        ) == 0
+        return path
+
+    @pytest.mark.parametrize("algorithm", ["lp", "auto"])
+    def test_solve_prints_the_bound_sandwich(self, market_path, algorithm, capsys):
+        assert main(
+            ["solve", "--market", str(market_path), "--algorithm", algorithm]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"algorithm: {algorithm}" in out
+        assert "exact tier chose:" in out
+        assert "optimality_gap" in out
+        assert "lagrangian_bound" in out
+
+    def test_gap_threshold_flag_reaches_auto(self, market_path, capsys):
+        assert main(
+            ["solve", "--market", str(market_path), "--algorithm", "auto",
+             "--gap-threshold", "1.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "exact tier chose: greedy" in out
+
+    def test_scenario_run_offline_lp_prints_bounds(self, capsys):
+        assert main(
+            ["scenario", "run", "--name", "morning-surge", "--mode", "offline",
+             "--solver", "lp", "--trips", "40", "--drivers", "6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "offline-lp" in out
+        assert "bounds: greedy" in out
+        assert "gap" in out
+
+    def test_scenario_compare_bounds_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["scenario", "compare", "--no-bounds"])
+        assert args.bounds is False
+        args = parser.parse_args(
+            ["scenario", "compare", "--bounds", "--gap-threshold", "0.1"]
+        )
+        assert args.bounds is True
+        assert args.gap_threshold == pytest.approx(0.1)
+
+    def test_scenario_compare_with_lp_solver(self, capsys):
+        assert main(
+            ["scenario", "compare", "--names", "rainy-day", "--solvers",
+             "greedy,auto", "--trips", "40", "--drivers", "6", "--no-stream"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "offline-auto" in out
+        assert "opt_gap" in out
