@@ -13,7 +13,8 @@ comparison the suite produces:
   offline ``BatchedSimulator.run`` replay of the full task set (the
   stream == offline contract extended to every scenario);
 * **metrics** — the scenario-suite rows (serve rate, revenue, mean wait,
-  shard-load skew per scenario x mode) land in
+  shard-load skew per scenario x mode, including the ``stream-horizon``
+  rolling-horizon comparison rows) land in
   ``benchmarks/results/BENCH_scenarios.json``.
 
 The ``smoke`` test at the bottom is the CI gate: one built-in scenario at a
@@ -42,6 +43,11 @@ SMOKE_TRIPS, SMOKE_DRIVERS = 200, 24
 
 GRID_ROWS, GRID_COLS = 2, 2
 POOL_WORKERS = 2
+
+#: Rolling-horizon knobs of the suite's ``stream-horizon`` rows (the tuned
+#: defaults of ``bench_rolling_horizon``; the forecaster is EWMA because a
+#: live stream cannot see the future).
+HORIZON, OVERLAP = 16, 4
 
 
 def _solution_fingerprint(solution) -> tuple:
@@ -130,6 +136,9 @@ def _run_verified_suite(trips, drivers, names, save_json, artifact_name):
             rows=GRID_ROWS,
             cols=GRID_COLS,
             pool=pools["process"],
+            horizon=HORIZON,
+            overlap=OVERLAP,
+            forecast="ewma",
         )
     finally:
         for pool in pools.values():
@@ -159,6 +168,9 @@ def _run_verified_suite(trips, drivers, names, save_json, artifact_name):
         "driver_count": max(r["driver_count"] for r in verification.values()),
         "worker_count": POOL_WORKERS,
         "grid": f"{GRID_ROWS}x{GRID_COLS}",
+        "horizon": HORIZON,
+        "overlap": OVERLAP,
+        "forecast": "ewma",
         "solution_parity": all_parity,
         "verification": verification,
         "rows": [row.as_dict() for row in suite.rows],
@@ -186,6 +198,10 @@ def test_scenario_suite_full(save_json):
     stream_rows = [row for row in payload["rows"] if row["mode"] == "stream-batched"]
     assert len(stream_rows) == payload["scenario_count"]
     assert all(row["serve_rate"] > 0.0 for row in stream_rows)
+    # Every scenario also carries its rolling-horizon comparison row.
+    horizon_rows = [row for row in payload["rows"] if row["mode"] == "stream-horizon"]
+    assert len(horizon_rows) == payload["scenario_count"]
+    assert all(row["serve_rate"] > 0.0 for row in horizon_rows)
 
 
 @pytest.mark.benchmark(group="scenarios")

@@ -37,6 +37,7 @@ SMOKE_NAMES = (
     "BENCH_service_soak_smoke",
     "BENCH_city_scale_smoke",
     "BENCH_optimality_gap_smoke",
+    "BENCH_rolling_horizon_smoke",
 )
 
 
@@ -129,7 +130,10 @@ def _row_smokes(artifacts: dict[str, dict]) -> list[str] | None:
         for name in present
     ]
     all_parity = all(
-        artifacts[name].get("solution_parity", artifacts[name].get("parity_ok"))
+        artifacts[name].get(
+            "solution_parity",
+            artifacts[name].get("parity_ok", artifacts[name].get("executor_parity")),
+        )
         for name in present
     )
     label = " / ".join(f"`{name}.json`" for name in present)
@@ -185,6 +189,22 @@ def _row_optimality_gap(d: dict) -> list[str]:
     ]
 
 
+def _row_rolling_horizon(d: dict) -> list[str]:
+    records = d["comparison"]
+    serve_deltas = [r["serve_rate_delta"] for r in records.values()]
+    wait_deltas = [r["mean_wait_delta_s"] for r in records.values()]
+    degradation = all(r["horizon1_equals_myopic"] for r in records.values())
+    return [
+        "`BENCH_rolling_horizon.json` — rolling-horizon dispatch vs myopic",
+        f"{d['scenario_count']} scenarios, horizon {d['horizon']} + "
+        f"{d['overlap']} overlap blocks, {d['forecast']} forecast",
+        f"{_parity(degradation)} (horizon=1 == myopic), improved serve rate "
+        f"AND wait on **{d['improved_both_count']}/{d['scenario_count']}** "
+        f"scenarios, serve rate up to **{max(serve_deltas):+.3f}**, mean wait "
+        f"down to **{min(wait_deltas):+.0f}s**",
+    ]
+
+
 ROW_BUILDERS = {
     "BENCH_distributed_scaling": _row_distributed_scaling,
     "BENCH_streaming_append": _row_streaming_append,
@@ -194,6 +214,7 @@ ROW_BUILDERS = {
     "BENCH_service_soak": _row_service_soak,
     "BENCH_city_scale": _row_city_scale,
     "BENCH_optimality_gap": _row_optimality_gap,
+    "BENCH_rolling_horizon": _row_rolling_horizon,
 }
 
 

@@ -12,7 +12,9 @@ Installed as the ``repro`` console script (also reachable as
     maxMargin, nearest, batched, exact), optionally saving the solution.
     ``--stream`` consumes the orders as a live publish-ordered stream, and
     ``--executor process --grid 2x2`` fans the stream out to per-shard
-    streaming sessions on a persistent worker pool.
+    streaming sessions on a persistent worker pool.  ``--horizon``/
+    ``--overlap``/``--forecast`` turn the batched dispatcher into the
+    rolling-horizon one (lookahead pricing + proactive repositioning).
 ``bound``
     Compute an upper bound (LP relaxation, Lagrangian or exact) for a market.
 ``info``
@@ -68,6 +70,27 @@ _BOUNDS = {
 }
 
 
+def _add_horizon_args(parser: argparse.ArgumentParser) -> None:
+    """The rolling-horizon dispatch knobs shared by the streaming commands."""
+    parser.add_argument(
+        "--horizon", type=int, default=1,
+        help="rolling-horizon control window in dispatch windows (1 = myopic; "
+        ">1 biases each window's assignment toward forecast future demand "
+        "and proactively repositions idle drivers)",
+    )
+    parser.add_argument(
+        "--overlap", type=int, default=0,
+        help="coarse overlap horizon beyond the control window, in blocks of "
+        "windows; solved in expectation, never committed",
+    )
+    parser.add_argument(
+        "--forecast", choices=["ewma", "oracle"], default="ewma",
+        help="per-zone demand forecaster feeding the lookahead ('oracle' "
+        "reads the compiled timeline and only works on replayed — not "
+        "live-streamed — runs)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -101,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="greedy",
     )
     solve.add_argument("--batch-window", type=float, default=60.0, help="batched: window in seconds")
+    _add_horizon_args(solve)
     solve.add_argument(
         "--gap-threshold", type=float, default=0.02,
         help="lp/auto: relative optimality-gap threshold below which 'auto' "
@@ -213,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--grid", default="2x2", metavar="RxC",
         help="shard grid over the scenario's service region",
     )
+    _add_horizon_args(scenario_run)
 
     scenario_compare = scenario_sub.add_parser(
         "compare", help="sweep scenarios x dispatch modes on one warm pool"
@@ -252,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--gap-threshold", type=float, default=0.02,
         help="relative gap below which the 'auto' solver keeps greedy on a shard",
     )
+    _add_horizon_args(scenario_compare)
 
     serve = subparsers.add_parser(
         "serve",
@@ -349,11 +375,26 @@ def _parse_grid(text: str) -> tuple:
     return rows, cols
 
 
+def _batch_config(args: argparse.Namespace, window_s: float):
+    """A :class:`BatchConfig` from the CLI's window + horizon knobs, with
+    validation errors surfaced as clean CLI errors instead of tracebacks."""
+    from .online.batch import BatchConfig
+
+    try:
+        return BatchConfig(
+            window_s=window_s,
+            horizon=args.horizon,
+            overlap=args.overlap,
+            forecast=args.forecast,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+
+
 def _cmd_solve_stream(args: argparse.Namespace, instance) -> int:
     """``solve --stream``: live windowed dispatch on the sharded pool."""
     from .distributed import DistributedCoordinator, SpatialPartitioner
     from .geo import bounding_box_of
-    from .online.batch import BatchConfig
 
     rows, cols = _parse_grid(args.grid)
     points = [d.source for d in instance.drivers] + [d.destination for d in instance.drivers]
@@ -366,13 +407,17 @@ def _cmd_solve_stream(args: argparse.Namespace, instance) -> int:
         executor=args.executor,
         transport=args.transport,
     ) as coordinator:
-        result = coordinator.solve_stream(
-            instance, config=BatchConfig(window_s=args.batch_window)
-        )
+        try:
+            result = coordinator.solve_stream(
+                instance, config=_batch_config(args, args.batch_window)
+            )
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc.args[0]}")
     report = result.report
+    dispatch = "myopic" if args.horizon <= 1 else f"horizon={args.horizon}"
     print(
         f"algorithm: batched (streamed, {args.executor} executor, "
-        f"{report.transport} transport)"
+        f"{dispatch} dispatch, {report.transport} transport)"
     )
     print(
         f"shards: {report.shard_count} ({rows}x{cols} grid), "
@@ -390,6 +435,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     instance = load_instance(args.market)
     if args.stream and args.algorithm != "batched":
         raise SystemExit("--stream requires --algorithm batched")
+    if args.algorithm != "batched" and (args.horizon != 1 or args.overlap != 0):
+        raise SystemExit("--horizon/--overlap require --algorithm batched")
     if not args.stream and (args.executor != "serial" or args.grid != "1x1"):
         raise SystemExit("--executor and --grid only apply to --stream solves")
     if args.stream:
@@ -409,9 +456,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         )
         summary = result.summary()
     elif args.algorithm == "batched":
-        from .online.batch import BatchConfig
-
-        outcome = BatchedSimulator(instance, BatchConfig(window_s=args.batch_window)).run()
+        outcome = BatchedSimulator(instance, _batch_config(args, args.batch_window)).run()
         result, summary = outcome, outcome.summary()
     else:
         dispatcher = MaxMarginDispatcher() if args.algorithm == "maxMargin" else NearestDispatcher()
@@ -548,7 +593,6 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             f"(checksum {compiled.checksum()[:12]})"
         )
         from .distributed import DistributedCoordinator, SpatialPartitioner
-        from .online.batch import BatchConfig
 
         with DistributedCoordinator(
             SpatialPartitioner(spec.region, rows, cols),
@@ -569,14 +613,21 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                     )
                 print(format_metric_dict(result.solution.summary()))
             else:
-                result = coordinator.solve_stream(
-                    compiled.instance,
-                    compiled.arrival_batches(),
-                    config=BatchConfig(window_s=spec.window_s),
-                )
+                try:
+                    result = coordinator.solve_stream(
+                        compiled.instance,
+                        compiled.arrival_batches(),
+                        config=_batch_config(args, spec.window_s),
+                    )
+                except ValueError as exc:
+                    raise SystemExit(f"error: {exc.args[0]}")
                 report = result.report
+                mode = "stream-batched" if args.horizon <= 1 else (
+                    f"stream-horizon[h={args.horizon},ov={args.overlap},"
+                    f"forecast={args.forecast}]"
+                )
                 print(
-                    f"mode: stream-batched ({args.executor}, {rows}x{cols} grid), "
+                    f"mode: {mode} ({args.executor}, {rows}x{cols} grid), "
                     f"{report.batch_count} batches, mean wait "
                     f"{report.mean_wait_s:.1f}s, wall {report.wall_clock_s:.2f}s"
                 )
@@ -606,16 +657,22 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                 ]
             except ValueError as exc:
                 raise SystemExit(f"error: {exc.args[0]}")
-        suite = run_scenario_suite(
-            scenarios,
-            solvers=solvers,
-            stream=args.stream,
-            rows=rows,
-            cols=cols,
-            executor=args.executor,
-            bounds=args.bounds,
-            gap_threshold=args.gap_threshold,
-        )
+        try:
+            suite = run_scenario_suite(
+                scenarios,
+                solvers=solvers,
+                stream=args.stream,
+                rows=rows,
+                cols=cols,
+                executor=args.executor,
+                bounds=args.bounds,
+                gap_threshold=args.gap_threshold,
+                horizon=args.horizon,
+                overlap=args.overlap,
+                forecast=args.forecast,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc.args[0]}")
         print(suite.render())
         return 0
 

@@ -17,8 +17,10 @@ from .distance import (
     EquirectangularEstimator,
     HaversineEstimator,
     ManhattanEstimator,
+    TimeVaryingTravelModel,
     TravelModel,
     default_travel_model,
+    time_varying_model,
 )
 from .grid import GridIndex, SpatialGrid, bounding_box_of, build_grid
 
@@ -44,7 +46,9 @@ __all__ = [
     "EquirectangularEstimator",
     "ManhattanEstimator",
     "TravelModel",
+    "TimeVaryingTravelModel",
     "default_travel_model",
+    "time_varying_model",
     "SpatialGrid",
     "build_grid",
     "GridIndex",

@@ -18,11 +18,11 @@ by the task-map builder to keep construction at city scale fast.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..geo import GeoPoint, TravelModel, default_travel_model
+from ..geo import GeoPoint, TimeVaryingTravelModel, TravelModel, default_travel_model
 from .task import Task
 
 
@@ -35,20 +35,42 @@ class Leg:
 
 
 class MarketCostModel:
-    """Derives the ``l``/``c`` quantities of the paper from a travel model."""
+    """Derives the ``l``/``c`` quantities of the paper from a travel model.
 
-    def __init__(self, travel_model: TravelModel | None = None) -> None:
+    The travel model may be a plain :class:`TravelModel` or a
+    :class:`TimeVaryingTravelModel`.  Task quantities (``l̂_m`` / ``ĉ_m``)
+    resolve the rates in effect at the task's pickup deadline
+    (``start_deadline_ts``) — a pure function of the task and the model, so
+    the streaming task maps' incremental-maintenance parity (incremental ==
+    rebuild, bit for bit) holds with no extra bookkeeping.  For a plain
+    model every timestamp resolves to the model itself, reproducing the
+    historical outputs exactly.
+    """
+
+    def __init__(self, travel_model: TravelModel | TimeVaryingTravelModel | None = None) -> None:
         self.travel_model = travel_model or default_travel_model()
+        self._time_indexed = hasattr(self.travel_model, "at")
+
+    # ------------------------------------------------------------------
+    # time indexing
+    # ------------------------------------------------------------------
+    def model_at(self, ts: Optional[float]) -> TravelModel:
+        """The plain :class:`TravelModel` in effect at ``ts`` (the configured
+        model itself when it is time-invariant or ``ts`` is ``None``)."""
+        if ts is None or not self._time_indexed:
+            return self.travel_model  # type: ignore[return-value]
+        return self.travel_model.at(ts)  # type: ignore[union-attr]
 
     # ------------------------------------------------------------------
     # point-to-point estimates (the paper's l / c)
     # ------------------------------------------------------------------
-    def leg(self, origin: GeoPoint, destination: GeoPoint) -> Leg:
-        """Empty-drive travel time and cost between two points."""
-        distance = self.travel_model.distance_km(origin, destination)
+    def leg(self, origin: GeoPoint, destination: GeoPoint, ts: Optional[float] = None) -> Leg:
+        """Empty-drive travel time and cost between two points at ``ts``."""
+        model = self.model_at(ts)
+        distance = model.distance_km(origin, destination)
         return Leg(
-            time_s=self.travel_model.time_for_distance_s(distance),
-            cost=self.travel_model.cost_for_distance(distance),
+            time_s=model.time_for_distance_s(distance),
+            cost=model.cost_for_distance(distance),
         )
 
     def task_duration_s(self, task: Task) -> float:
@@ -56,14 +78,17 @@ class MarketCostModel:
 
         Uses the task's recorded trace distance when available (the paper
         derives it from the trip polyline), otherwise the travel model's
-        estimate between the endpoints.
+        estimate between the endpoints; rates are the ones in effect at the
+        task's pickup deadline.
         """
         distance = self.task_distance_km(task)
-        return self.travel_model.time_for_distance_s(distance)
+        return self.model_at(task.start_deadline_ts).time_for_distance_s(distance)
 
     def task_cost(self, task: Task) -> float:
         """``ĉ_m`` — driving cost of serving the task."""
-        return self.travel_model.cost_for_distance(self.task_distance_km(task))
+        return self.model_at(task.start_deadline_ts).cost_for_distance(
+            self.task_distance_km(task)
+        )
 
     def task_distance_km(self, task: Task) -> float:
         """The driven distance of the task (trace value or model estimate)."""

@@ -3,6 +3,8 @@
 from .batch import BatchConfig, BatchedSimulator, run_batched, run_batched_stream, window_batches
 from .candidates import CandidateKernel
 from .dispatchers import Dispatcher, MaxMarginDispatcher, NearestDispatcher, RandomDispatcher
+from .forecast import EwmaDemandForecaster, OracleDemandForecaster, ZoneGrid
+from .horizon import ForecastHeatmap, LookaheadPlanner
 from .outcome import OnlineDriverRecord, OnlineOutcome
 from .repositioning import (
     DemandHeatmap,
@@ -27,6 +29,11 @@ __all__ = [
     "run_batched_stream",
     "window_batches",
     "DemandHeatmap",
+    "ZoneGrid",
+    "EwmaDemandForecaster",
+    "OracleDemandForecaster",
+    "ForecastHeatmap",
+    "LookaheadPlanner",
     "RepositioningPolicy",
     "RepositioningMove",
     "HotspotRepositioning",

@@ -76,10 +76,42 @@ class BatchConfig:
     #: reach (a grid range query per task).  Superset-safe: candidates and
     #: outcomes are identical with the index on or off.
     use_spatial_index: bool = True
+    #: Rolling-horizon lookahead (see :mod:`repro.online.horizon`).  The
+    #: dispatcher solves a *control window* of ``horizon`` dispatch windows
+    #: (the current one exactly, the next ``horizon - 1`` in expectation via
+    #: the demand forecast) plus ``overlap`` coarser blocks of
+    #: ``overlap_factor`` windows each, and commits only the control window.
+    #: ``horizon=1`` is the exact myopic dispatcher — no forecaster is even
+    #: constructed, so the outputs are bit-identical to today's.
+    horizon: int = 1
+    overlap: int = 0
+    overlap_factor: int = 4
+    #: Demand forecaster: ``"ewma"`` (causal, works on live streams) or
+    #: ``"oracle"`` (true future counts; replay-only, used by tests).
+    forecast: str = "ewma"
+    forecast_alpha: float = 0.35
+    #: Hungarian-matrix bias per unit of pressure difference, in units of the
+    #: window's mean price.  ``0`` keeps the assignment myopic while still
+    #: running forecast-driven repositioning.  0.1 breaks near-ties toward
+    #: forecast demand without overturning clearly better present
+    #: assignments (larger weights started losing mean wait on the suite).
+    lookahead_weight: float = 0.1
 
     def __post_init__(self) -> None:
         if self.window_s <= 0:
             raise ValueError("window_s must be positive")
+        if self.horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if self.overlap < 0:
+            raise ValueError("overlap must be >= 0")
+        if self.overlap_factor < 1:
+            raise ValueError("overlap_factor must be >= 1")
+        if self.forecast not in ("ewma", "oracle"):
+            raise ValueError("forecast must be 'ewma' or 'oracle'")
+        if not 0.0 < self.forecast_alpha <= 1.0:
+            raise ValueError("forecast_alpha must be in (0, 1]")
+        if self.lookahead_weight < 0:
+            raise ValueError("lookahead_weight must be non-negative")
 
 
 def _publish_slot(publish_ts: float, first_publish: float, window_s: float) -> int:
@@ -157,6 +189,7 @@ class BatchedSimulator:
         self._pending: List[int] = []
         self._rejected: List[int] = []
         self._streaming = False
+        self._lookahead = None
 
     # ------------------------------------------------------------------
     # main loops
@@ -164,9 +197,9 @@ class BatchedSimulator:
     def run(self) -> OnlineOutcome:
         """Simulate the full (already known) order stream window by window."""
         self._begin()
-        for window_end, arrivals in self._windows():
+        for slot, window_end, arrivals in self._windows():
             self._pending.extend(arrivals)
-            self._step_window(window_end)
+            self._step_window(window_end, slot=slot, arrivals=arrivals)
         return self._finish()
 
     def run_stream(self, arrival_batches: Iterable[Sequence[Task]]) -> OnlineOutcome:
@@ -204,6 +237,12 @@ class BatchedSimulator:
                 "run_stream needs a streaming instance with append_tasks(); "
                 "use StreamingMarketInstance (or run() for a static instance)"
             )
+        if self.config.horizon > 1 and self.config.forecast == "oracle":
+            raise ValueError(
+                "forecast='oracle' reads the full task table and cannot run "
+                "on a live stream (the future is unknown at stream_begin); "
+                "use forecast='ewma'"
+            )
         self._begin()
         self._streaming = True
         self._stream_first_publish: Optional[float] = None
@@ -214,10 +253,13 @@ class BatchedSimulator:
     def _stream_flush(self) -> None:
         if self._stream_open_slot is None or not self._stream_open_arrivals:
             return
-        self._pending.extend(self._stream_open_arrivals)
+        arrivals = self._stream_open_arrivals
+        self._pending.extend(arrivals)
         self._step_window(
             self._stream_first_publish
-            + (self._stream_open_slot + 1) * self.config.window_s
+            + (self._stream_open_slot + 1) * self.config.window_s,
+            slot=self._stream_open_slot,
+            arrivals=arrivals,
         )
         self._stream_open_arrivals = []
 
@@ -288,9 +330,28 @@ class BatchedSimulator:
         )
         self._pending = []
         self._rejected = []
+        self._lookahead = None
+        if self.config.horizon > 1:
+            # Imported here: horizon.py builds on the repositioning module,
+            # which imports from this package.
+            from .horizon import LookaheadPlanner
 
-    def _step_window(self, window_end: float) -> None:
-        """Dispatch everything pending at one window boundary."""
+            self._lookahead = LookaheadPlanner.build(self.instance, self.config)
+
+    def _step_window(
+        self, window_end: float, *, slot: int = 0, arrivals: Sequence[int] = ()
+    ) -> None:
+        """Dispatch everything pending at one window boundary.
+
+        ``slot`` / ``arrivals`` describe the publish window being flushed;
+        the replay and streaming paths derive them from the same watermark
+        arithmetic (:func:`_publish_slot`), so the lookahead planner observes
+        the identical (slot, arrivals) sequence in both — the foundation of
+        the stream == replay contract under horizon dispatch.
+        """
+        if self._lookahead is not None:
+            tasks = self.instance.tasks
+            self._lookahead.observe_window(slot, (tasks[m] for m in arrivals))
         if not self._pending:
             return
         for state in self._states.values():
@@ -305,6 +366,13 @@ class BatchedSimulator:
             self._rejected.extend(still_pending)
             still_pending = []
         self._pending = still_pending
+        if self._lookahead is not None:
+            # Proactive repositioning: drivers still idle after the window's
+            # dispatch start moving toward forecast demand.  The kernel's
+            # mirrors follow via sync, exactly as an assignment would.
+            self._lookahead.reposition(
+                self._states.values(), window_end, on_move=self._kernel.sync
+            )
 
     def _finish(self) -> OnlineOutcome:
         self._rejected.extend(self._pending)
@@ -316,8 +384,13 @@ class BatchedSimulator:
             dispatcher_name=self.name,
         )
 
-    def _windows(self) -> List[Tuple[float, List[int]]]:
-        """Group task indices into dispatch windows by publish time."""
+    def _windows(self) -> List[Tuple[int, float, List[int]]]:
+        """Group task indices into dispatch windows by publish time.
+
+        Returns ``(slot, window_end, indices)`` triples — the same
+        (slot, arrivals) pairs the streaming watermark flushes, so both paths
+        feed the lookahead planner identically.
+        """
         indexed = [
             (index, task)
             for index, task in enumerate(self.instance.tasks)
@@ -334,7 +407,7 @@ class BatchedSimulator:
             slot = _publish_slot(task.publish_ts, first_publish, window_s)
             windows.setdefault(slot, []).append(index)
         return [
-            (first_publish + (slot + 1) * window_s, indices)
+            (slot, first_publish + (slot + 1) * window_s, indices)
             for slot, indices in sorted(windows.items())
         ]
 
@@ -379,8 +452,34 @@ class BatchedSimulator:
         task_pos = {m: i for i, m in enumerate(live_tasks)}
 
         cost = np.full((len(live_tasks), len(driver_ids)), _INFEASIBLE)
-        for (m, driver_id), candidate in candidate_lookup.items():
-            cost[task_pos[m], driver_pos[driver_id]] = -candidate.marginal_value
+        lookahead = self._lookahead
+        if lookahead is not None and lookahead.lookahead_weight > 0.0:
+            # Overlap-horizon term: bias each admissible pair by the forecast
+            # pressure it creates (drop-off zone) minus the pressure it
+            # consumes (driver's current zone).  The bias prices the matrix
+            # only — the participation filter above and the committed profits
+            # in :meth:`_commit` use the unbiased marginals, so only the
+            # control window is ever committed.
+            price_scale = float(
+                np.mean([self.instance.tasks[m].price for m in live_tasks])
+            )
+            task_pressure = {
+                m: lookahead.pressure_at(self.instance.tasks[m].destination)
+                for m in live_tasks
+            }
+            driver_pressure = {
+                driver_id: lookahead.pressure_at(states[driver_id].location)
+                for driver_id in driver_ids
+            }
+            weight = lookahead.lookahead_weight * price_scale
+            for (m, driver_id), candidate in candidate_lookup.items():
+                bias = weight * (task_pressure[m] - driver_pressure[driver_id])
+                cost[task_pos[m], driver_pos[driver_id]] = -(
+                    candidate.marginal_value + bias
+                )
+        else:
+            for (m, driver_id), candidate in candidate_lookup.items():
+                cost[task_pos[m], driver_pos[driver_id]] = -candidate.marginal_value
 
         rows, cols = optimize.linear_sum_assignment(cost)
         assigned: Dict[int, str] = {}

@@ -99,6 +99,14 @@ class CandidateKernel:
         self._estimator = travel_model.estimator
         self._speed_kmh = travel_model.speed_kmh
         self._cost_per_km = travel_model.cost_per_km
+        # Time-indexed models expose per-window rates; every query resolves
+        # the rates in effect at its ``now_ts``.  Plain models resolve to the
+        # scalar snapshots above, keeping the historical arithmetic (and its
+        # bit-for-bit outputs) untouched.
+        self._rates_at = getattr(travel_model, "rates_at", None)
+        self._max_speed_kmh = float(
+            getattr(travel_model, "max_speed_kmh", travel_model.speed_kmh)
+        )
 
         self._states: List[DriverState] = list(states)
         n = len(self._states)
@@ -257,6 +265,12 @@ class CandidateKernel:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    def _query_rates(self, now_ts: float) -> tuple:
+        """``(speed_kmh, cost_per_km)`` in effect for a query at ``now_ts``."""
+        if self._rates_at is None:
+            return self._speed_kmh, self._cost_per_km
+        return self._rates_at(now_ts)
+
     def candidates_for(self, task_index: int, task: Task, now_ts: float) -> List[Candidate]:
         """Feasible candidates for one task, in driver order."""
         if not self.vectorized:
@@ -278,6 +292,7 @@ class CandidateKernel:
         slots = self._prefilter_slots(task, now_ts)
         if slots.size == 0:
             return []
+        speed_kmh, cost_per_km = self._query_rates(now_ts)
 
         depart = np.maximum(self._free_at[slots], self._driver_start[slots])
         depart = np.maximum(depart, now_ts)
@@ -291,8 +306,8 @@ class CandidateKernel:
             self._loc_rad[slots], self._loc[slots],
             self._task_sources_rad[task_index], self._task_sources[task_index],
         )
-        approach_time = approach_km / self._speed_kmh * 3600.0
-        approach_cost = approach_km * self._cost_per_km
+        approach_time = approach_km / speed_kmh * 3600.0
+        approach_cost = approach_km * cost_per_km
         arrival = depart + approach_time
         feasible = arrival <= sdl + 1e-9
         if self.wait_for_pickup_deadline:
@@ -314,8 +329,8 @@ class CandidateKernel:
             self._task_destinations_rad[task_index], self._task_destinations[task_index],
             self._dest_rad[slots], self._dest[slots],
         )
-        home_time = home_km / self._speed_kmh * 3600.0
-        home_cost = home_km * self._cost_per_km
+        home_time = home_km / speed_kmh * 3600.0
+        home_cost = home_km * cost_per_km
         feasible = dropoff + home_time <= self._driver_end[slots] + 1e-9
         if not feasible.any():
             return []
@@ -325,7 +340,7 @@ class CandidateKernel:
         approach_cost = approach_cost[feasible]
         home_cost = home_cost[feasible]
 
-        current_home_cost = self._current_home_km[slots] * self._cost_per_km
+        current_home_cost = self._current_home_km[slots] * cost_per_km
         marginal = task.price - (
             home_cost + service_cost + approach_cost - current_home_cost
         )
@@ -380,6 +395,7 @@ class CandidateKernel:
         slots = self._window_slots(tasks, now_ts)  # (D',) union of reach
         if slots.size == 0:
             return {}
+        speed_kmh, cost_per_km = self._query_rates(now_ts)
 
         sdl = np.array([t.start_deadline_ts for t in tasks], dtype=float)
         edl = np.array([t.end_deadline_ts for t in tasks], dtype=float)
@@ -414,8 +430,8 @@ class CandidateKernel:
                 service_costs,
                 self._current_home_km[slots],
                 self._driver_end[slots],
-                self._speed_kmh,
-                self._cost_per_km,
+                speed_kmh,
+                cost_per_km,
                 self.wait_for_pickup_deadline,
             )
         else:
@@ -427,8 +443,8 @@ class CandidateKernel:
                 self._loc_rad[slots], self._loc[slots],
                 self._task_sources_rad[idx], self._task_sources[idx],
             )  # (D', T)
-            approach_time = (approach_km / self._speed_kmh * 3600.0).T  # (T, D')
-            approach_cost = (approach_km * self._cost_per_km).T
+            approach_time = (approach_km / speed_kmh * 3600.0).T  # (T, D')
+            approach_cost = (approach_km * cost_per_km).T
             arrival = depart[None, :] + approach_time
             feasible &= arrival <= sdl[:, None] + 1e-9
             if self.wait_for_pickup_deadline:
@@ -442,11 +458,11 @@ class CandidateKernel:
                 self._task_destinations_rad[idx], self._task_destinations[idx],
                 self._dest_rad[slots], self._dest[slots],
             )  # (T, D')
-            home_time = home_km / self._speed_kmh * 3600.0
-            home_cost = home_km * self._cost_per_km
+            home_time = home_km / speed_kmh * 3600.0
+            home_cost = home_km * cost_per_km
             feasible &= dropoff + home_time <= self._driver_end[slots][None, :] + 1e-9
 
-            current_home_cost = self._current_home_km[slots] * self._cost_per_km  # (D',)
+            current_home_cost = self._current_home_km[slots] * cost_per_km  # (D',)
             marginal = prices[:, None] - (
                 home_cost + service_costs[:, None] + approach_cost - current_home_cost[None, :]
             )
@@ -489,7 +505,7 @@ class CandidateKernel:
             depart_ts = max(state.free_at, now_ts, driver.start_ts)
             if depart_ts > task.start_deadline_ts:
                 continue
-            approach = self._cost_model.leg(state.location, task.source)
+            approach = self._cost_model.leg(state.location, task.source, ts=now_ts)
             arrival_ts = depart_ts + approach.time_s
             if arrival_ts > task.start_deadline_ts + 1e-9:
                 continue
@@ -500,10 +516,12 @@ class CandidateKernel:
             dropoff_ts = pickup_ts + ride_duration
             if dropoff_ts > task.end_deadline_ts + 1e-9:
                 continue
-            home_leg = self._cost_model.leg(task.destination, driver.destination)
+            home_leg = self._cost_model.leg(task.destination, driver.destination, ts=now_ts)
             if dropoff_ts + home_leg.time_s > driver.end_ts + 1e-9:
                 continue
-            current_home_leg = self._cost_model.leg(state.location, driver.destination)
+            current_home_leg = self._cost_model.leg(
+                state.location, driver.destination, ts=now_ts
+            )
             marginal = task.price - (
                 home_leg.cost + service_cost + approach.cost - current_home_leg.cost
             )
@@ -546,7 +564,11 @@ class CandidateKernel:
         # approach within the pickup-deadline budget; convert that distance
         # budget into a safe straight-line radius for the grid query.
         budget_s = max(0.0, task.start_deadline_ts - now_ts) + 1.0
-        reach_km = budget_s / 3600.0 * self._speed_kmh
+        # Use the profile's *maximum* speed: a faster future window can never
+        # shrink the reach below this bound, so the range query stays a
+        # superset of the exact checks (and equals the historical radius for
+        # flat profiles and plain models).
+        reach_km = budget_s / 3600.0 * self._max_speed_kmh
         prune_km = self._estimator.prune_radius_km(reach_km)
         if prune_km is None:
             return np.arange(len(self._states), dtype=np.intp)

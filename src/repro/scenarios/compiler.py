@@ -38,8 +38,10 @@ SupplyShock        Rewrites the fleet: joining drivers get fresh shifts
                    starting at the shock; leaving drivers have their windows
                    truncated (or are dropped when their shift had not
                    started) — both stacks enforce windows already.
-TravelSlowdown     Composes multiplicatively into the instance's travel
-                   model via :meth:`~repro.geo.distance.TravelModel.scaled`.
+TravelSlowdown     Day-level events compose multiplicatively into the travel
+                   model via :meth:`~repro.geo.distance.TravelModel.scaled`;
+                   windowed events compile into a
+                   :class:`~repro.geo.TimeVaryingTravelModel` slot profile.
 HotspotMigration   Pickup sampler moves a fraction of in-window demand from
                    the source footprint into the target footprint.
 =================  ==========================================================
@@ -52,7 +54,7 @@ import random
 from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from ..geo import BoundingBox, GeoPoint, default_travel_model
+from ..geo import BoundingBox, GeoPoint, TimeVaryingTravelModel, default_travel_model
 from ..market.cost import MarketCostModel
 from ..market.driver import Driver
 from ..market.instance import MarketInstance, tasks_from_trips
@@ -143,6 +145,12 @@ class CompiledScenario:
             digest.update(f"{task.task_id}|{task.publish_ts!r}|{task.price!r}\n".encode())
         model = self.instance.cost_model.travel_model
         digest.update(f"{model.speed_kmh!r}|{model.cost_per_km!r}".encode())
+        profile = getattr(model, "speed_factors", None)
+        if profile is not None:
+            digest.update(
+                f"|{model.window_s!r}|{model.speed_factors!r}|"
+                f"{model.cost_factors!r}|{model.origin_ts!r}".encode()
+            )
         return digest.hexdigest()
 
 
@@ -348,28 +356,83 @@ class ScenarioCompiler:
     # travel model
     # ------------------------------------------------------------------
     def slowdown_factors(self) -> Tuple[float, float]:
-        """``(speed_factor, cost_factor)`` composed over every slowdown.
+        """``(speed_factor, cost_factor)`` composed over every *day-level*
+        slowdown.
 
         Applied to *both* the travel model and the trace generator's trip
         speed: rain slows the recorded rides exactly as it slows the empty
         drives, so a trip's estimated in-task time stays consistent with
         its recorded window (scaling only the model would silently make
         every recorded trip infeasible).
+
+        Windowed slowdowns are excluded here — they compile into the travel
+        model's time profile (:meth:`slowdown_profile`) and deliberately do
+        *not* rescale the recorded trips: the storm cell slows the empty
+        drives and the model's duration estimates inside its window, while
+        the trace keeps its recorded history.
         """
         speed_factor = 1.0
         cost_factor = 1.0
         for event in self.spec.events_of_type(TravelSlowdown):
-            speed_factor *= event.speed_factor
-            cost_factor *= event.cost_factor
+            if event.is_day_level:
+                speed_factor *= event.speed_factor
+                cost_factor *= event.cost_factor
         return speed_factor, cost_factor
 
+    def slowdown_profile(self) -> Optional[Tuple[Tuple[float, ...], Tuple[float, ...]]]:
+        """Per-slot ``(speed_factors, cost_factors)`` of the windowed
+        slowdowns, at the demand profile's :data:`SLOT_COUNT` resolution —
+        or ``None`` when every slowdown is day-level (the historical case).
+
+        A slot carries an event's factors iff its midpoint lies inside the
+        event's ``[start_hour, end_hour)`` window; events compose
+        multiplicatively per slot.
+        """
+        windowed = [
+            event
+            for event in self.spec.events_of_type(TravelSlowdown)
+            if not event.is_day_level
+        ]
+        if not windowed:
+            return None
+        slot_s = 86400.0 / SLOT_COUNT
+        speed = [1.0] * SLOT_COUNT
+        cost = [1.0] * SLOT_COUNT
+        for event in windowed:
+            start_s = event.start_hour * 3600.0
+            end_s = event.end_hour * 3600.0
+            for slot in range(SLOT_COUNT):
+                mid = (slot + 0.5) * slot_s
+                if start_s <= mid < end_s:
+                    speed[slot] *= event.speed_factor
+                    cost[slot] *= event.cost_factor
+        return tuple(speed), tuple(cost)
+
     def cost_model(self) -> MarketCostModel:
-        """The market cost model, with every slowdown composed in."""
+        """The market cost model, with every slowdown composed in.
+
+        Day-level slowdowns scale the base model (a plain
+        :class:`~repro.geo.TravelModel`, exactly as before); windowed
+        slowdowns wrap it in a :class:`~repro.geo.TimeVaryingTravelModel`
+        whose profile carries their factors slot by slot.
+        """
         speed_factor, cost_factor = self.slowdown_factors()
         model = default_travel_model()
         if speed_factor != 1.0 or cost_factor != 1.0:
             model = model.scaled(speed_factor=speed_factor, cost_factor=cost_factor)
-        return MarketCostModel(model)
+        profile = self.slowdown_profile()
+        if profile is None:
+            return MarketCostModel(model)
+        speed_factors, cost_factors = profile
+        return MarketCostModel(
+            TimeVaryingTravelModel(
+                base=model,
+                window_s=86400.0 / SLOT_COUNT,
+                speed_factors=speed_factors,
+                cost_factors=cost_factors,
+                origin_ts=0.0,
+            )
+        )
 
     # ------------------------------------------------------------------
     # compilation

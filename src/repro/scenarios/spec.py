@@ -24,8 +24,10 @@ Event vocabulary
                           strike); compiled into the fleet's working windows,
                           which both stacks already honour, so mid-stream
                           supply changes need no new execution machinery.
-:class:`TravelSlowdown`   City-wide speed (and optionally cost) scaling for
-                          the whole day — a rainy or congested city.
+:class:`TravelSlowdown`   City-wide speed (and optionally cost) scaling —
+                          day-level (a rainy city) or windowed (rush-hour
+                          congestion, compiled into a time-indexed travel
+                          model).
 :class:`HotspotMigration` A fraction of the demand that would originate in
                           one footprint originates in another during a
                           window (commute corridors, event build-up).
@@ -173,23 +175,37 @@ class SupplyShock:
 
 @dataclass(frozen=True, slots=True)
 class TravelSlowdown:
-    """City-wide travel-model scaling for the whole day.
+    """City-wide travel-model scaling, for the whole day or a time window.
 
     ``speed_factor`` scales the average speed (0.7 ≈ a rainy day),
     ``cost_factor`` the per-km cost.  Multiple slowdowns compose
-    multiplicatively.  Day-level by design: the cost model is immutable
-    state shared by every task map, so time-varying speeds would invalidate
-    the incremental-maintenance parity contracts.
+    multiplicatively.  The default window is the whole day, which compiles
+    to a plain scaled :class:`~repro.geo.TravelModel` exactly as before; a
+    narrower ``[start_hour, end_hour)`` window compiles into a
+    :class:`~repro.geo.TimeVaryingTravelModel` whose per-slot profile
+    carries the factors only inside the window (rush-hour congestion, a
+    storm cell passing through).  Task durations/costs resolve the rates at
+    each task's pickup deadline — a pure function of (task, model) — so the
+    incremental-maintenance and stream == replay parity contracts hold
+    under windowed slowdowns too.
     """
 
     speed_factor: float
     cost_factor: float = 1.0
+    start_hour: float = 0.0
+    end_hour: float = DAY_HOURS
 
     def __post_init__(self) -> None:
         if self.speed_factor <= 0.0:
             raise ValueError("speed_factor must be positive")
         if self.cost_factor < 0.0:
             raise ValueError("cost_factor must be non-negative")
+        _check_window(self.start_hour, self.end_hour)
+
+    @property
+    def is_day_level(self) -> bool:
+        """Whether the slowdown covers the whole simulated day."""
+        return self.start_hour == 0.0 and self.end_hour == DAY_HOURS
 
 
 @dataclass(frozen=True, slots=True)

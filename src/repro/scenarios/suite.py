@@ -54,7 +54,7 @@ class ScenarioRunMetrics:
     """One (scenario, mode) comparison row."""
 
     scenario: str
-    #: ``"offline-<solver>"`` or ``"stream-batched"``.
+    #: ``"offline-<solver>"``, ``"stream-batched"`` or ``"stream-horizon"``.
     mode: str
     executor: str
     task_count: int
@@ -184,6 +184,9 @@ def run_scenario_suite(
     pool: Optional[PersistentWorkerPool] = None,
     bounds: bool = True,
     gap_threshold: float = 0.02,
+    horizon: int = 1,
+    overlap: int = 0,
+    forecast: str = "ewma",
 ) -> ScenarioSuiteResult:
     """Sweep scenarios x dispatch modes on one warm worker pool.
 
@@ -214,6 +217,14 @@ def run_scenario_suite(
     gap_threshold:
         Relative-gap knob forwarded to the exact tier (used by ``"auto"``
         rows; the bounds pass itself always solves the LP).
+    horizon / overlap / forecast:
+        With ``horizon > 1`` (and ``stream=True``) each scenario also runs a
+        ``"stream-horizon"`` row: the same streamed path under rolling-horizon
+        dispatch (:mod:`repro.online.horizon`), so the suite reports the
+        serve-rate/mean-wait delta of lookahead over the myopic stream row.
+        Streamed runs reveal the future only as it publishes, so the live
+        forecaster is ``"ewma"`` (the ``"oracle"`` variant needs replay and
+        is rejected by ``stream_begin``).
     """
     specs = _resolve_specs(scenarios)
     for solver in solvers:
@@ -231,7 +242,8 @@ def run_scenario_suite(
             metrics.extend(
                 _run_one(compiled, solvers=solvers, stream=stream,
                          rows=rows, cols=cols, pool=pool,
-                         bounds=bounds, gap_threshold=gap_threshold)
+                         bounds=bounds, gap_threshold=gap_threshold,
+                         horizon=horizon, overlap=overlap, forecast=forecast)
             )
     finally:
         if own_pool:
@@ -251,6 +263,9 @@ def _run_one(
     pool: PersistentWorkerPool,
     bounds: bool = True,
     gap_threshold: float = 0.02,
+    horizon: int = 1,
+    overlap: int = 0,
+    forecast: str = "ewma",
 ) -> List[ScenarioRunMetrics]:
     """All modes of one compiled scenario on the shared pool."""
     spec = compiled.spec
@@ -323,32 +338,46 @@ def _run_one(
             )
         )
     if stream:
+        stream_configs = [("stream-batched", BatchConfig(window_s=spec.window_s))]
+        if horizon > 1:
+            stream_configs.append(
+                (
+                    "stream-horizon",
+                    BatchConfig(
+                        window_s=spec.window_s,
+                        horizon=horizon,
+                        overlap=overlap,
+                        forecast=forecast,
+                    ),
+                )
+            )
         coordinator = DistributedCoordinator(
             SpatialPartitioner(spec.region, rows, cols), executor=pool.executor
         )
-        start = time.perf_counter()
-        result = coordinator.solve_stream(
-            instance,
-            compiled.arrival_batches(),
-            config=BatchConfig(window_s=spec.window_s),
-            pool=pool,
-        )
-        wall = time.perf_counter() - start
-        out.append(
-            ScenarioRunMetrics(
-                scenario=spec.name,
-                mode="stream-batched",
-                executor=pool.executor,
-                task_count=instance.task_count,
-                driver_count=instance.driver_count,
-                shard_count=result.report.shard_count,
-                serve_rate=result.solution.serve_rate,
-                total_value=result.solution.total_value,
-                total_revenue=result.solution.total_revenue,
-                mean_wait_s=result.report.mean_wait_s,
-                shard_skew=ShardLoadReport.from_prior(result).max_over_mean,
-                wall_clock_s=wall,
-                **bound_columns,
+        for mode, config in stream_configs:
+            start = time.perf_counter()
+            result = coordinator.solve_stream(
+                instance,
+                compiled.arrival_batches(),
+                config=config,
+                pool=pool,
             )
-        )
+            wall = time.perf_counter() - start
+            out.append(
+                ScenarioRunMetrics(
+                    scenario=spec.name,
+                    mode=mode,
+                    executor=pool.executor,
+                    task_count=instance.task_count,
+                    driver_count=instance.driver_count,
+                    shard_count=result.report.shard_count,
+                    serve_rate=result.solution.serve_rate,
+                    total_value=result.solution.total_value,
+                    total_revenue=result.solution.total_revenue,
+                    mean_wait_s=result.report.mean_wait_s,
+                    shard_skew=ShardLoadReport.from_prior(result).max_over_mean,
+                    wall_clock_s=wall,
+                    **bound_columns,
+                )
+            )
     return out

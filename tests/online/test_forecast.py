@@ -1,0 +1,216 @@
+"""Forecaster test battery (repro.online.forecast).
+
+Pins the properties the rolling-horizon dispatcher depends on:
+
+* EWMA == oracle on stationary demand (same counts every window);
+* forecasts are a deterministic function of (spec, seed) — compiling and
+  replaying a scenario twice yields bit-identical forecast sequences;
+* the EWMA never emits negative per-zone mass (hypothesis-driven);
+* the oracle reproduces the compiled timeline's true per-slot counts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geo import PORTO, GeoPoint
+from repro.market.task import Task
+from repro.online import EwmaDemandForecaster, OracleDemandForecaster, ZoneGrid
+from repro.online.forecast import publish_slot_of
+from repro.scenarios import compile_scenario, get_scenario
+
+WINDOW_S = 60.0
+
+GRID = ZoneGrid(PORTO, rows=4, cols=4)
+
+
+def make_task(task_id, source, publish_ts=0.0):
+    return Task(
+        task_id=task_id,
+        publish_ts=publish_ts,
+        source=source,
+        destination=PORTO.center,
+        start_deadline_ts=publish_ts + 600.0,
+        end_deadline_ts=publish_ts + 1800.0,
+        price=5.0,
+    )
+
+
+def zone_point(zone: int) -> GeoPoint:
+    return GRID.centers[zone]
+
+
+class TestZoneGrid:
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ZoneGrid(PORTO, rows=0)
+
+    def test_zone_of_centers_round_trips(self):
+        for zone, center in enumerate(GRID.centers):
+            assert GRID.zone_of(center) == zone
+
+    def test_counts_of(self):
+        tasks = [make_task("a", zone_point(3)), make_task("b", zone_point(3)),
+                 make_task("c", zone_point(7))]
+        counts = GRID.counts_of(tasks)
+        assert counts[3] == 2.0
+        assert counts[7] == 1.0
+        assert counts.sum() == 3.0
+
+    def test_from_points(self):
+        assert ZoneGrid.from_points([], 4, 4) is None
+        grid = ZoneGrid.from_points([PORTO.center], 4, 4)
+        assert grid is not None
+        assert grid.zone_count == 16
+
+    def test_out_of_box_points_clamp(self):
+        far = GeoPoint(PORTO.north + 1.0, PORTO.east + 1.0)
+        assert 0 <= GRID.zone_of(far) < GRID.zone_count
+
+
+class TestPublishSlot:
+    def test_slot_edges(self):
+        assert publish_slot_of(0.0, 0.0, WINDOW_S) == 0
+        assert publish_slot_of(59.999, 0.0, WINDOW_S) == 0
+        assert publish_slot_of(60.0, 0.0, WINDOW_S) == 1
+        # Clamped below the first publish (defensive; the stream never
+        # produces one).
+        assert publish_slot_of(-5.0, 0.0, WINDOW_S) == 0
+
+
+class TestEwma:
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            EwmaDemandForecaster(GRID, alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaDemandForecaster(GRID, alpha=1.5)
+
+    def test_predict_before_any_observation_is_zero(self):
+        forecaster = EwmaDemandForecaster(GRID)
+        assert not forecaster.predict(0).any()
+
+    def test_stationary_demand_equals_oracle(self):
+        """Identical counts every window: EWMA == oracle from slot 0 on."""
+        window_tasks = [
+            make_task("a", zone_point(1)),
+            make_task("b", zone_point(1)),
+            make_task("c", zone_point(10)),
+        ]
+        all_tasks = []
+        for slot in range(8):
+            all_tasks.extend(
+                make_task(f"{t.task_id}{slot}", t.source, publish_ts=slot * WINDOW_S)
+                for t in window_tasks
+            )
+        oracle = OracleDemandForecaster(GRID, all_tasks, WINDOW_S)
+        ewma = EwmaDemandForecaster(GRID, alpha=0.35)
+        for slot in range(8):
+            published = [t for t in all_tasks
+                         if publish_slot_of(t.publish_ts, 0.0, WINDOW_S) == slot]
+            ewma.observe(slot, published)
+            for future in range(slot + 1, 8):
+                np.testing.assert_array_equal(
+                    ewma.predict(future), oracle.predict(future)
+                )
+
+    def test_skipped_slots_decay_like_zero_observations(self):
+        """Observing slots (0, 3) equals observing (0, 1, 2, 3) with empty
+        middles — the watermark-skip contract."""
+        tasks0 = [make_task("a", zone_point(5))] * 4
+        tasks3 = [make_task("b", zone_point(5))] * 2
+        skipping = EwmaDemandForecaster(GRID, alpha=0.4)
+        skipping.observe(0, tasks0)
+        skipping.observe(3, tasks3)
+        dense = EwmaDemandForecaster(GRID, alpha=0.4)
+        dense.observe(0, tasks0)
+        dense.observe(1, [])
+        dense.observe(2, [])
+        dense.observe(3, tasks3)
+        np.testing.assert_allclose(skipping.predict(4), dense.predict(4), rtol=1e-12)
+
+    def test_prediction_is_slot_independent(self):
+        """The EWMA forecasts its current state for *every* future slot, so
+        horizon length never changes forecaster behaviour."""
+        forecaster = EwmaDemandForecaster(GRID)
+        forecaster.observe(0, [make_task("a", zone_point(2))])
+        np.testing.assert_array_equal(forecaster.predict(1), forecaster.predict(99))
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        alpha=st.floats(min_value=0.01, max_value=1.0),
+        windows=st.lists(
+            st.lists(st.integers(min_value=0, max_value=15), max_size=12),
+            min_size=1,
+            max_size=10,
+        ),
+        gaps=st.lists(st.integers(min_value=1, max_value=4), min_size=10, max_size=10),
+    )
+    def test_never_negative(self, alpha, windows, gaps):
+        """No observation sequence can drive any per-zone forecast negative."""
+        forecaster = EwmaDemandForecaster(GRID, alpha=alpha)
+        slot = 0
+        for window, gap in zip(windows, gaps):
+            tasks = [make_task(f"t{slot}-{i}", zone_point(z))
+                     for i, z in enumerate(window)]
+            forecaster.observe(slot, tasks)
+            prediction = forecaster.predict(slot + 1)
+            assert (prediction >= 0.0).all()
+            assert np.isfinite(prediction).all()
+            slot += gap
+
+
+class TestOracle:
+    def test_window_s_validated(self):
+        with pytest.raises(ValueError):
+            OracleDemandForecaster(GRID, [], window_s=0.0)
+
+    def test_empty_task_table_predicts_zero(self):
+        oracle = OracleDemandForecaster(GRID, [], WINDOW_S)
+        assert not oracle.predict(0).any()
+
+    def test_true_counts_per_slot(self):
+        tasks = [
+            make_task("a", zone_point(0), publish_ts=10.0),
+            make_task("b", zone_point(0), publish_ts=30.0),
+            make_task("c", zone_point(9), publish_ts=70.0),
+        ]
+        oracle = OracleDemandForecaster(GRID, tasks, WINDOW_S)
+        assert oracle.predict(0)[0] == 2.0
+        assert oracle.predict(1)[9] == 1.0
+        assert not oracle.predict(2).any()
+
+    def test_observe_is_a_noop(self):
+        tasks = [make_task("a", zone_point(0), publish_ts=0.0)]
+        oracle = OracleDemandForecaster(GRID, tasks, WINDOW_S)
+        before = oracle.predict(0).copy()
+        oracle.observe(0, [make_task("x", zone_point(15), publish_ts=0.0)] * 50)
+        np.testing.assert_array_equal(oracle.predict(0), before)
+
+
+class TestDeterminism:
+    def test_forecast_deterministic_from_spec_and_seed(self):
+        """Compiling the same (spec, seed) twice and replaying the arrival
+        batches yields bit-identical forecast sequences."""
+        spec = get_scenario("morning-surge").with_scale(120, 12)
+
+        def forecast_trace(seed):
+            compiled = compile_scenario(spec.with_seed(seed))
+            drivers = compiled.instance.drivers
+            points = [d.source for d in drivers] + [d.destination for d in drivers]
+            grid = ZoneGrid.from_points(points, 4, 4)
+            forecaster = EwmaDemandForecaster(grid)
+            tasks = compiled.instance.tasks
+            first_publish = min(t.publish_ts for t in tasks if t.is_publishable)
+            trace = []
+            for slot in range(10):
+                published = [
+                    t for t in tasks if t.is_publishable
+                    and publish_slot_of(t.publish_ts, first_publish, spec.window_s) == slot
+                ]
+                forecaster.observe(slot, published)
+                trace.append(forecaster.predict(slot + 1).tobytes())
+            return trace
+
+        assert forecast_trace(7) == forecast_trace(7)
+        assert forecast_trace(7) != forecast_trace(8)

@@ -1,6 +1,8 @@
 """Tests for the demand heatmap and idle-driver repositioning."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.geo import PORTO, GeoPoint, default_travel_model
 from repro.market import Driver
@@ -160,6 +162,44 @@ class TestBatchedSuggestions:
         scalar = [policy.suggest(state, now_ts) for state in states]
         assert batched == scalar
         assert any(move is not None for move in batched)  # the case is non-trivial
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        fleet_size=st.integers(min_value=1, max_value=25),
+        hot_zones=st.lists(
+            st.tuples(
+                st.floats(min_value=0.05, max_value=0.95),
+                st.floats(min_value=0.05, max_value=0.95),
+                st.integers(min_value=1, max_value=60),
+            ),
+            min_size=0,
+            max_size=4,
+        ),
+        now_hour=st.floats(min_value=1.0, max_value=23.0),
+        max_drive_km=st.floats(min_value=0.5, max_value=40.0),
+    )
+    def test_batch_equals_scalar_on_random_fleets(
+        self, seed, fleet_size, hot_zones, now_hour, max_drive_km
+    ):
+        """suggest_batch == [suggest(s) for s in states] for arbitrary fleets,
+        demand fields and policy knobs (the vectorised twin never diverges)."""
+        heatmap = DemandHeatmap(PORTO, rows=4, cols=4)
+        now_ts = now_hour * 3600.0
+        for frac_lat, frac_lon, count in hot_zones:
+            hot = GeoPoint(
+                PORTO.south + frac_lat * (PORTO.north - PORTO.south),
+                PORTO.west + frac_lon * (PORTO.east - PORTO.west),
+            )
+            heatmap.record(hot, now_ts, count=count)
+        policy = HotspotRepositioning(
+            heatmap,
+            default_travel_model(),
+            idle_threshold_s=300.0,
+            max_drive_km=max_drive_km,
+        )
+        states = self.make_fleet(count=fleet_size, seed=seed)
+        batched = policy.suggest_batch(states, now_ts)
+        assert batched == [policy.suggest(state, now_ts) for state in states]
 
     def test_base_class_default_walks_scalar_suggest(self):
         class EveryoneDowntown(RepositioningPolicy):

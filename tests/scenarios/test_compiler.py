@@ -12,6 +12,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.geo import TimeVaryingTravelModel, TravelModel
+from repro.online.batch import stream_schedule
+from repro.online.forecast import publish_slot_of
 from repro.scenarios import (
     DemandSurge,
     HotspotMigration,
@@ -23,6 +26,7 @@ from repro.scenarios import (
     ZoneClosure,
     compile_scenario,
 )
+from repro.scenarios.compiler import SLOT_COUNT
 
 #: A tiny but non-degenerate compile scale for unit tests.
 TRIPS, DRIVERS = 60, 8
@@ -83,7 +87,17 @@ def shocks():
 
 
 def slowdowns():
-    return st.builds(TravelSlowdown, speed_factor=st.floats(0.6, 1.0))
+    # Half day-level (plain scaled model), half windowed (compiled into a
+    # TimeVaryingTravelModel slot profile).
+    day_level = st.builds(TravelSlowdown, speed_factor=st.floats(0.6, 1.0))
+    windowed = st.builds(
+        lambda window, speed, cost: TravelSlowdown(
+            speed_factor=speed, cost_factor=cost,
+            start_hour=window[0], end_hour=window[1],
+        ),
+        windows(), st.floats(0.6, 1.0), st.floats(1.0, 1.3),
+    )
+    return st.one_of(day_level, windowed)
 
 
 def migrations():
@@ -239,6 +253,153 @@ class TestTravelSlowdown:
         jitter = spec.base.speed_jitter
         assert max(speeds) <= spec.base.speed_kmh * 0.7 * (1.0 + jitter) + 1e-9
         assert min(speeds) >= spec.base.speed_kmh * 0.7 * (1.0 - jitter) - 1e-9
+
+
+class TestWindowedSlowdown:
+    """Windowed TravelSlowdown events compile into a TimeVaryingTravelModel
+    slot profile; day-level events keep the plain scaled-model path."""
+
+    def test_day_level_event_keeps_plain_model(self):
+        compiled = compile_scenario(tiny("rain", [TravelSlowdown(speed_factor=0.7)]))
+        assert isinstance(compiled.instance.cost_model.travel_model, TravelModel)
+        assert ScenarioCompiler(compiled.spec).slowdown_profile() is None
+
+    def test_windowed_event_compiles_a_slot_profile(self):
+        event = TravelSlowdown(speed_factor=0.6, cost_factor=1.2,
+                               start_hour=8.0, end_hour=10.0)
+        compiled = compile_scenario(tiny("rush", [event]))
+        model = compiled.instance.cost_model.travel_model
+        assert isinstance(model, TimeVaryingTravelModel)
+        assert model.window_count == SLOT_COUNT
+        assert model.window_s == pytest.approx(86400.0 / SLOT_COUNT)
+        assert model.origin_ts == 0.0
+        slot_s = 86400.0 / SLOT_COUNT
+        for slot in range(SLOT_COUNT):
+            midpoint_hour = (slot + 0.5) * slot_s / 3600.0
+            if 8.0 <= midpoint_hour < 10.0:
+                assert model.speed_factors[slot] == pytest.approx(0.6)
+                assert model.cost_factors[slot] == pytest.approx(1.2)
+            else:
+                assert model.speed_factors[slot] == 1.0
+                assert model.cost_factors[slot] == 1.0
+
+    def test_windowed_events_compose_multiplicatively(self):
+        events = [
+            TravelSlowdown(speed_factor=0.8, start_hour=8.0, end_hour=12.0),
+            TravelSlowdown(speed_factor=0.5, start_hour=10.0, end_hour=14.0),
+        ]
+        profile = ScenarioCompiler(tiny("storms", events)).slowdown_profile()
+        assert profile is not None
+        speeds, _costs = profile
+        slot_s = 86400.0 / SLOT_COUNT
+        hour_of = lambda slot: (slot + 0.5) * slot_s / 3600.0
+        for slot in range(SLOT_COUNT):
+            hour = hour_of(slot)
+            expected = 1.0
+            if 8.0 <= hour < 12.0:
+                expected *= 0.8
+            if 10.0 <= hour < 14.0:
+                expected *= 0.5
+            assert speeds[slot] == pytest.approx(expected)
+
+    def test_day_level_and_windowed_compose_across_layers(self):
+        """A day-level event scales the base model; a windowed one profiles
+        it — the effective in-window rate is the product of both."""
+        events = [
+            TravelSlowdown(speed_factor=0.9),  # day-level rain
+            TravelSlowdown(speed_factor=0.5, start_hour=8.0, end_hour=9.0),
+        ]
+        compiled = compile_scenario(tiny("layered", events))
+        model = compiled.instance.cost_model.travel_model
+        assert isinstance(model, TimeVaryingTravelModel)
+        assert model.base.speed_kmh == pytest.approx(30.0 * 0.9)
+        in_window_speed, _ = model.rates_at(8.5 * 3600.0)
+        assert in_window_speed == pytest.approx(30.0 * 0.9 * 0.5)
+        out_window_speed, _ = model.rates_at(12.0 * 3600.0)
+        assert out_window_speed == pytest.approx(30.0 * 0.9)
+
+    def test_windowed_event_changes_the_checksum(self):
+        base = tiny("ws")
+        windowed = tiny(
+            "ws", [TravelSlowdown(speed_factor=0.7, start_hour=7.0, end_hour=9.0)]
+        )
+        shifted = tiny(
+            "ws", [TravelSlowdown(speed_factor=0.7, start_hour=7.0, end_hour=10.0)]
+        )
+        checksums = {
+            compile_scenario(s).checksum() for s in (base, windowed, shifted)
+        }
+        assert len(checksums) == 3
+
+    def test_windowed_event_does_not_rescale_trip_speeds(self):
+        """Only day-level events slow the *recorded* trips (a whole rainy
+        day); a two-hour congestion window must leave trip generation — and
+        therefore the demand timeline — untouched."""
+        event = TravelSlowdown(speed_factor=0.5, start_hour=8.0, end_hour=10.0)
+        base = compile_scenario(tiny("plainspeed"))
+        windowed = compile_scenario(tiny("plainspeed", [event]))
+        assert [t.start_ts for t in windowed.trips] == [t.start_ts for t in base.trips]
+        assert [t.distance_km for t in windowed.trips] == [
+            t.distance_km for t in base.trips
+        ]
+
+
+class TestWindowBoundaries:
+    """Compiled arrival batches and dispatch-window edges agree with
+    ``stream_schedule`` — the contract that makes a streamed scenario the
+    replay's sharded twin (and lines forecaster slots up with dispatch)."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(spec=specs(), window_s=st.sampled_from([30.0, 60.0, 120.0, 300.0]))
+    def test_arrival_batches_equal_stream_schedule(self, spec, window_s):
+        compiled = compile_scenario(spec)
+        batches = compiled.arrival_batches(window_s)
+        reference = stream_schedule(compiled.tasks, window_s)
+        assert [
+            [t.task_id for t in batch] for batch in batches
+        ] == [[t.task_id for t in batch] for batch in reference]
+
+    @settings(max_examples=15, deadline=None)
+    @given(spec=specs())
+    def test_batch_slots_respect_window_edges(self, spec):
+        """Every publishable task lands in the half-open window
+        ``[anchor + slot*window_s, anchor + (slot+1)*window_s)`` of its
+        batch, with slots computed exactly like the forecaster's."""
+        compiled = compile_scenario(spec)
+        window_s = spec.window_s
+        batches = compiled.arrival_batches()
+        publishable = [t for t in compiled.tasks if t.is_publishable]
+        if not publishable:
+            return
+        anchor = min(t.publish_ts for t in publishable)
+        slots = []
+        for batch in batches:
+            batch_slots = {
+                publish_slot_of(t.publish_ts, anchor, window_s)
+                for t in batch
+                if t.is_publishable
+            }
+            # One dispatch window per batch, in strictly increasing order.
+            assert len(batch_slots) <= 1
+            if batch_slots:
+                slot = batch_slots.pop()
+                for task in batch:
+                    if task.is_publishable:
+                        start = anchor + slot * window_s
+                        assert start <= task.publish_ts < start + window_s
+                slots.append(slot)
+        assert slots == sorted(slots)
+        assert len(set(slots)) == len(slots)
+
+    def test_boundary_publish_lands_in_next_window(self):
+        """A task publishing exactly on a window edge opens the next batch."""
+        compiled = compile_scenario(tiny("edges"))
+        window_s = compiled.spec.window_s
+        publishable = [t for t in compiled.tasks if t.is_publishable]
+        anchor = min(t.publish_ts for t in publishable)
+        assert publish_slot_of(anchor + window_s, anchor, window_s) == 1
+        assert publish_slot_of(anchor + window_s - 1e-6, anchor, window_s) == 0
+        assert publish_slot_of(anchor + 2 * window_s, anchor, window_s) == 2
 
 
 class TestHotspotMigration:
