@@ -1,0 +1,172 @@
+"""Overhead budget for the flight recorder (parity contract 19's gate).
+
+The tracing layer buys per-phase visibility into the dispatch hot path —
+candidate-kernel build, per-window Hungarian, merge — and it must stay
+cheap enough to leave on in soaks.  Two costs are measured on the same
+streamed workload, interleaved so machine drift hits both arms equally:
+
+* **traced** — ``solve_stream`` with an active :class:`TraceRecorder`;
+  every hot-path span is recorded and stitched.  Gate: < 5% wall-clock
+  overhead over the untraced run (min-of-rounds, to shed scheduler noise).
+* **disabled** — tracing off, ``span()`` returns a shared null object.
+  The per-call cost is microbenchmarked and multiplied by the span count a
+  traced run actually records, then compared to the untraced wall clock.
+  Gate: < 1%.
+
+Parity is asserted unconditionally: the traced merge must be bit-identical
+to the untraced one.  The per-phase breakdown (candidates / hungarian / lp /
+transport / merge seconds) lands in
+``benchmarks/results/BENCH_observability.json``; the ``smoke`` test at the
+bottom is the CI gate (small instance, ``BENCH_observability_smoke.json``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.distributed import DistributedCoordinator, SpatialPartitioner
+from repro.experiments import ExperimentConfig, ExperimentScale, build_workload
+from repro.obs import trace as obs_trace
+from repro.online.batch import BatchConfig
+from repro.trace import WorkingModel
+
+#: Streamed workload for the scaling run: enough windows that the per-span
+#: clock reads are amortised over real Hungarian work.
+OBS_SCALE = ExperimentScale(
+    task_count=1200,
+    driver_counts=(150,),
+    trips_generated=6000,
+)
+
+#: CI smoke instance: small enough for a tiny runner, big enough that the
+#: untraced wall clock dwarfs timer granularity.
+SMOKE_SCALE = ExperimentScale(
+    task_count=400,
+    driver_counts=(60,),
+    trips_generated=2000,
+)
+
+WINDOW_S = 600.0
+DISABLED_CALLS = 200_000
+
+
+def _build_instance(scale: ExperimentScale):
+    config = ExperimentConfig(scale=scale, working_model=WorkingModel.HITCHHIKING)
+    workload = build_workload(config)
+    return config, workload.instance_with_drivers(scale.driver_counts[-1])
+
+
+def _fingerprint(result):
+    return (
+        result.solution.assignment(),
+        tuple((p.driver_id, p.task_indices, p.profit) for p in result.solution.plans),
+        result.rejected_tasks,
+        result.report.total_value,
+        result.report.served_count,
+    )
+
+
+def _stream(config, instance):
+    with DistributedCoordinator(
+        SpatialPartitioner(config.bounding_box, 2, 2), executor="serial"
+    ) as coordinator:
+        return coordinator.solve_stream(instance, config=BatchConfig(window_s=WINDOW_S))
+
+
+def _disabled_span_cost_s() -> float:
+    """Per-call cost of ``span()`` with no recorder installed."""
+    obs_trace.disable_tracing()
+    start = time.perf_counter()
+    for _ in range(DISABLED_CALLS):
+        with obs_trace.span("noop"):
+            pass
+    return (time.perf_counter() - start) / DISABLED_CALLS
+
+
+def _run_comparison(config, instance, rounds):
+    """Traced vs untraced streamed solves, interleaved; returns the payload.
+
+    One untimed warm-up per arm first (candidate caches, import costs),
+    then ``rounds`` timed runs of each.  The serial executor keeps the
+    measurement free of fork/scheduler noise — the span machinery being
+    costed is identical under every executor policy.
+    """
+    untraced_result = _stream(config, instance)  # warm-up, reused for parity
+    recorder = obs_trace.enable_tracing()
+    try:
+        _stream(config, instance)
+    finally:
+        obs_trace.disable_tracing()
+
+    untraced_s = []
+    traced_s = []
+    traced_result = None
+    spans = ()
+    for _ in range(rounds):
+        start = time.perf_counter()
+        untraced_result = _stream(config, instance)
+        untraced_s.append(time.perf_counter() - start)
+
+        recorder = obs_trace.enable_tracing()
+        try:
+            start = time.perf_counter()
+            traced_result = _stream(config, instance)
+            traced_s.append(time.perf_counter() - start)
+        finally:
+            obs_trace.disable_tracing()
+        spans = recorder.export()
+
+    wall_untraced = min(untraced_s)
+    wall_traced = min(traced_s)
+    span_cost_s = _disabled_span_cost_s()
+    phase_seconds = dict(obs_trace.phase_totals(spans))
+
+    return {
+        "rounds": rounds,
+        "executor": "serial",
+        "task_count": instance.task_count,
+        "driver_count": instance.driver_count,
+        "wall_untraced_s": wall_untraced,
+        "wall_traced_s": wall_traced,
+        "traced_overhead_pct": (wall_traced / wall_untraced - 1.0) * 100.0,
+        "span_count": len(spans),
+        "disabled_span_cost_ns": span_cost_s * 1e9,
+        "disabled_overhead_pct": (
+            len(spans) * span_cost_s / wall_untraced * 100.0
+        ),
+        "phase_seconds": phase_seconds,
+        "solution_parity": _fingerprint(traced_result) == _fingerprint(untraced_result),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _assert_gates(payload):
+    # Parity is unconditional: tracing must never change a dispatch outcome.
+    assert payload["solution_parity"]
+    # The breakdown covers the instrumented hot path.
+    assert payload["phase_seconds"]["candidates"] > 0.0
+    assert payload["phase_seconds"]["hungarian"] >= 0.0
+    # Overhead budgets from the contract: traced < 5%, disabled < 1%.
+    assert payload["traced_overhead_pct"] < 5.0
+    assert payload["disabled_overhead_pct"] < 1.0
+
+
+@pytest.mark.benchmark(group="observability")
+def test_observability_overhead(save_json):
+    """Scaling run: 5 interleaved rounds on the 1200-task stream."""
+    config, instance = _build_instance(OBS_SCALE)
+    payload = _run_comparison(config, instance, rounds=5)
+    save_json("observability", payload)
+    _assert_gates(payload)
+
+
+@pytest.mark.benchmark(group="observability")
+def test_observability_smoke(save_json):
+    """CI smoke gate: 3 rounds on the small instance, same budgets."""
+    config, instance = _build_instance(SMOKE_SCALE)
+    payload = _run_comparison(config, instance, rounds=3)
+    save_json("observability_smoke", payload)
+    _assert_gates(payload)

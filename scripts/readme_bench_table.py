@@ -38,6 +38,7 @@ SMOKE_NAMES = (
     "BENCH_city_scale_smoke",
     "BENCH_optimality_gap_smoke",
     "BENCH_rolling_horizon_smoke",
+    "BENCH_observability_smoke",
 )
 
 
@@ -205,6 +206,21 @@ def _row_rolling_horizon(d: dict) -> list[str]:
     ]
 
 
+def _row_observability(d: dict) -> list[str]:
+    phases = d["phase_seconds"]
+    hot = max(phases, key=phases.get)
+    return [
+        "`BENCH_observability.json` — flight-recorder overhead budgets",
+        f"{d['task_count']} tasks, {d['driver_count']} drivers, "
+        f"{d['rounds']}× interleaved rounds",
+        f"{_parity(d['solution_parity'])} (traced == untraced), traced overhead "
+        f"**{d['traced_overhead_pct']:.2f}%** (< 5%), disabled "
+        f"**{d['disabled_overhead_pct']:.2f}%** (< 1%, "
+        f"{d['disabled_span_cost_ns']:.0f}ns/span), hottest phase "
+        f"{hot} {phases[hot]:.3f}s of {d['span_count']} spans",
+    ]
+
+
 ROW_BUILDERS = {
     "BENCH_distributed_scaling": _row_distributed_scaling,
     "BENCH_streaming_append": _row_streaming_append,
@@ -215,6 +231,7 @@ ROW_BUILDERS = {
     "BENCH_city_scale": _row_city_scale,
     "BENCH_optimality_gap": _row_optimality_gap,
     "BENCH_rolling_horizon": _row_rolling_horizon,
+    "BENCH_observability": _row_observability,
 }
 
 

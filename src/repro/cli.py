@@ -70,6 +70,16 @@ _BOUNDS = {
 }
 
 
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    """The flight-recorder flag shared by solve / scenario run / serve."""
+    parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="record a span trace of the whole run (coordinator and worker "
+        "side) and write it as Chrome trace-event JSON — load it at "
+        "https://ui.perfetto.dev or chrome://tracing",
+    )
+
+
 def _add_horizon_args(parser: argparse.ArgumentParser) -> None:
     """The rolling-horizon dispatch knobs shared by the streaming commands."""
     parser.add_argument(
@@ -96,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Optimization framework for online ride-sharing markets (ICDCS 2017 reproduction)",
+    )
+    parser.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        help="enable structured logging on the 'repro' logger tree at this "
+        "level (DEBUG/INFO/WARNING/...); worker-process records are relayed "
+        "to the parent.  Defaults to the REPRO_LOG environment variable",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -160,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
         "transport-independent)",
     )
     solve.add_argument("--output", help="optional path to save the solution JSON")
+    _add_trace_arg(solve)
 
     bound = subparsers.add_parser("bound", help="compute an upper bound for a market")
     bound.add_argument("--market", required=True)
@@ -238,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard grid over the scenario's service region",
     )
     _add_horizon_args(scenario_run)
+    _add_trace_arg(scenario_run)
 
     scenario_compare = scenario_sub.add_parser(
         "compare", help="sweep scenarios x dispatch modes on one warm pool"
@@ -333,6 +352,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--report-json", metavar="PATH",
         help="also write the full soak report as JSON",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus /metrics and JSON /health on 127.0.0.1:PORT "
+        "for the duration of the soak",
+    )
+    _add_trace_arg(serve)
 
     return parser
 
@@ -709,6 +734,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         seed=args.seed,
         parity_epochs=None if args.parity_epochs < 0 else args.parity_epochs,
+        metrics_port=args.metrics_port,
     )
 
     def _announce(service) -> None:
@@ -764,10 +790,38 @@ _COMMANDS = {
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro`` console script."""
+    from .obs import configure_logging
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        configure_logging(args.log_level)  # None falls back to REPRO_LOG
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
     handler = _COMMANDS[args.command]
-    return handler(args)
+    trace_out = getattr(args, "trace_out", None)
+    if not trace_out:
+        return handler(args)
+    from .obs import disable_tracing, enable_tracing, phase_totals, write_chrome_trace
+
+    recorder = enable_tracing()
+    try:
+        status = handler(args)
+    finally:
+        disable_tracing()
+        spans = recorder.export()
+        write_chrome_trace(trace_out, spans)
+        phases = ", ".join(
+            f"{name} {seconds:.3f}s"
+            for name, seconds in phase_totals(spans)
+            if seconds > 0.0
+        )
+        print(
+            f"trace written to {trace_out} ({len(spans)} spans"
+            + (f"; {phases}" if phases else "")
+            + ")"
+        )
+    return status
 
 
 if __name__ == "__main__":

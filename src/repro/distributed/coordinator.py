@@ -97,6 +97,7 @@ solve's per-shard load report (``CoordinatorReport.per_shard_task_counts`` /
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -104,6 +105,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.objectives import Objective
+from ..obs import trace as obs_trace
 from ..core.solution import DriverPlan, MarketSolution
 from ..geo import BoundingBox
 from ..market.cost import MarketCostModel
@@ -161,6 +163,8 @@ EXACT_SOLVER_NAMES = ("lp", "auto")
 
 #: Executor policies accepted by the coordinator.
 EXECUTOR_POLICIES = ("serial", "thread", "process")
+
+logger = logging.getLogger("repro.distributed.coordinator")
 
 
 def _solve_instance(
@@ -220,25 +224,52 @@ def _solve_instance(
     return assignment, driver_profits, outcome.total_value, outcome.served_count, None
 
 
+def _worker_recorder(request: ShardWorkRequest, shard_id: int):
+    """A per-call flight recorder when the request asks for tracing.
+
+    Returns ``(recorder, previous)`` where ``previous`` is whatever recorder
+    the calling thread had installed (the coordinator's own, under the
+    serial/thread policies) — the caller must restore it, so worker-side
+    span collection never leaks into the coordinator's tree except through
+    the explicit ``adopt`` at merge time.
+    """
+    if not request.trace:
+        return None, None
+    recorder = obs_trace.TraceRecorder()
+    previous = obs_trace.install_recorder(recorder)
+    recorder.begin(
+        "shard_solve",
+        shard=shard_id,
+        solver=request.solver_name,
+        pid=os.getpid(),
+    )
+    return recorder, previous
+
+
 def solve_shard(shard: MarketShard, request: ShardWorkRequest) -> ShardWorkResult:
     """Run the requested solver on one shard (the in-process worker entry)."""
     if request.solver_name not in SOLVER_NAMES:
         raise ValueError(f"unknown solver {request.solver_name!r}; expected one of {SOLVER_NAMES}")
-    with Stopwatch() as watch:
-        if shard.task_count == 0 or shard.driver_count == 0:
-            assignment: Dict[str, Tuple[int, ...]] = {}
-            driver_profits: Dict[str, float] = {}
-            total_value = 0.0
-            served = 0
-            bounds = (
-                ShardBounds.zero()
-                if request.solver_name in EXACT_SOLVER_NAMES
-                else None
-            )
-        else:
-            assignment, driver_profits, total_value, served, bounds = _solve_instance(
-                shard.instance, request
-            )
+    recorder, previous = _worker_recorder(request, shard.spec.shard_id)
+    try:
+        with Stopwatch() as watch:
+            if shard.task_count == 0 or shard.driver_count == 0:
+                assignment: Dict[str, Tuple[int, ...]] = {}
+                driver_profits: Dict[str, float] = {}
+                total_value = 0.0
+                served = 0
+                bounds = (
+                    ShardBounds.zero()
+                    if request.solver_name in EXACT_SOLVER_NAMES
+                    else None
+                )
+            else:
+                assignment, driver_profits, total_value, served, bounds = _solve_instance(
+                    shard.instance, request
+                )
+    finally:
+        if recorder is not None:
+            obs_trace.install_recorder(previous)
     return ShardWorkResult(
         shard_id=shard.spec.shard_id,
         solver_name=request.solver_name,
@@ -248,22 +279,40 @@ def solve_shard(shard: MarketShard, request: ShardWorkRequest) -> ShardWorkResul
         served_count=served,
         elapsed_s=watch.elapsed_s,
         bounds=bounds,
+        spans=recorder.export() if recorder is not None else (),
     )
 
 
-def solve_shard_payload(payload: ShardPayload, request: ShardWorkRequest) -> ShardWorkResult:
+def solve_shard_payload(
+    payload: ShardPayload,
+    request: ShardWorkRequest,
+    _recorder_state: Optional[tuple] = None,
+) -> ShardWorkResult:
     """Process-pool worker entry: rebuild the sub-instance from its
     array-backed payload and solve it.
 
     Top-level (picklable by reference) on purpose; produces exactly the same
     result as :func:`solve_shard` on the shard the payload was built from.
+    ``_recorder_state`` lets :func:`solve_shard_shm` hand over a recorder it
+    already installed (so the shm attach span precedes the rebuild span in
+    the same trace).
     """
     if request.solver_name not in SOLVER_NAMES:
         raise ValueError(f"unknown solver {request.solver_name!r}; expected one of {SOLVER_NAMES}")
-    with Stopwatch() as watch:
-        assignment, driver_profits, total_value, served, bounds = _solve_instance(
-            instance_from_payload(payload), request
-        )
+    if _recorder_state is not None:
+        recorder, previous = _recorder_state
+    else:
+        recorder, previous = _worker_recorder(request, payload.shard_id)
+    try:
+        with Stopwatch() as watch:
+            with obs_trace.span("rebuild"):
+                instance = instance_from_payload(payload)
+            assignment, driver_profits, total_value, served, bounds = _solve_instance(
+                instance, request
+            )
+    finally:
+        if recorder is not None:
+            obs_trace.install_recorder(previous)
     return ShardWorkResult(
         shard_id=payload.shard_id,
         solver_name=request.solver_name,
@@ -273,6 +322,7 @@ def solve_shard_payload(payload: ShardPayload, request: ShardWorkRequest) -> Sha
         served_count=served,
         elapsed_s=watch.elapsed_s,
         bounds=bounds,
+        spans=recorder.export() if recorder is not None else (),
     )
 
 
@@ -285,7 +335,15 @@ def solve_shard_shm(desc: PayloadDescriptor, request: ShardWorkRequest) -> Shard
     any solving happens, so no view over the segment outlives this call and
     the coordinator is free to recycle the segment once the future resolves.
     """
-    return solve_shard_payload(payload_from_descriptor(desc), request)
+    recorder, previous = _worker_recorder(request, desc.shard_id)
+    try:
+        # Attach span records on the worker recorder installed just above.
+        payload = payload_from_descriptor(desc)
+    except BaseException:
+        if recorder is not None:
+            obs_trace.install_recorder(previous)
+        raise
+    return solve_shard_payload(payload, request, _recorder_state=(recorder, previous))
 
 
 def _submit_payload(
@@ -301,7 +359,11 @@ def _submit_payload(
     if pool.shm_active:
         try:
             desc = pool.shipper.ship_payload(payload)
-        except (OSError, RuntimeError, ValueError):
+        except (OSError, RuntimeError, ValueError) as exc:
+            logger.warning(
+                "shm shipment failed for shard %d, falling back to pickle: %s",
+                payload.shard_id, exc,
+            )
             pool.stats.record_pickle(
                 payload.shard_id, payload_wire_bytes(payload), fallback=True
             )
@@ -439,6 +501,21 @@ class DistributedStreamSession:
         # Wire-traffic baseline: the pool's stats are cumulative over its
         # lifetime, so the report diffs against the counts at open.
         self._stats_mark = self._stats_snapshot()
+        # Flight recorder: the stream's lifetime span lives on whatever
+        # recorder the opening thread has active; worker sessions collect
+        # their own spans (the ``trace`` flag rides ``_pool_open``) and the
+        # merge adopts them under this root.
+        self._recorder = obs_trace.active_recorder()
+        self._trace_mark = (
+            self._recorder.mark() if self._recorder is not None else 0
+        )
+        self._root_span = (
+            self._recorder.begin(
+                "stream", executor=pool.executor, transport=pool.transport
+            )
+            if self._recorder is not None
+            else obs_trace.DROPPED
+        )
 
         self._tasks: List[Task] = []  # global task list, in arrival order
         self._task_shard: List[int] = []  # global index -> owning shard id
@@ -506,6 +583,7 @@ class DistributedStreamSession:
                 self._submit(
                     shard_id, slot, _pool_open, self._token, shard_id, drivers,
                     self._cost_model, self._config,
+                    self._recorder is not None,
                 )
             )
         else:
@@ -613,6 +691,10 @@ class DistributedStreamSession:
         self._closed = True
         self._finished = True
         self._inflight = []
+        if self._recorder is not None:
+            # Abandoned stream: close the lifetime span so the trace stays
+            # well-formed (no-op when finish already ended it).
+            self._recorder.end(self._root_span)
         for shard in self._shards:
             if shard.drivers:
                 try:
@@ -813,6 +895,21 @@ class DistributedStreamSession:
             raise
         self._finished = True
 
+        # Stitch worker-side span trees under the stream's root before the
+        # merge span opens, so per-shard subtrees sit beside (not inside) it.
+        if self._recorder is not None:
+            for shard in self._shards:
+                result = results[shard.shard_id]
+                if result is not None and result.spans:
+                    self._recorder.adopt(
+                        result.spans, parent_id=self._root_span, slot=shard.slot
+                    )
+
+        merge_span = (
+            self._recorder.begin("merge", parent_id=self._root_span)
+            if self._recorder is not None
+            else obs_trace.DROPPED
+        )
         merged_assignment: Dict[str, Tuple[int, ...]] = {}
         merged_profits: Dict[str, float] = {}
         rejected: set = set()
@@ -850,6 +947,14 @@ class DistributedStreamSession:
         solution = MarketSolution(
             instance=instance, plans=plans, objective=Objective.DRIVERS_PROFIT
         )
+        phase_breakdown: Tuple[Tuple[str, float], ...] = ()
+        trace_span_count = 0
+        if self._recorder is not None:
+            self._recorder.end(merge_span)
+            self._recorder.end(self._root_span)
+            stream_spans = self._recorder.spans_since(self._trace_mark)
+            phase_breakdown = obs_trace.phase_totals(stream_spans)
+            trace_span_count = len(stream_spans)
         now_stats = self._stats_snapshot()
         report = StreamReport(
             shard_count=len(self._shards),
@@ -870,6 +975,15 @@ class DistributedStreamSession:
             shm_bytes=now_stats[1] - self._stats_mark[1],
             segment_reuses=now_stats[2] - self._stats_mark[2],
             pickle_fallbacks=now_stats[3] - self._stats_mark[3],
+            phase_breakdown=phase_breakdown,
+            trace_span_count=trace_span_count,
+        )
+        logger.debug(
+            "stream finished: shards=%d batches=%d served=%d rejected=%d",
+            report.shard_count,
+            report.batch_count,
+            report.served_count,
+            report.rejected_count,
         )
         return DistributedStreamResult(
             solution=solution,
@@ -1035,6 +1149,12 @@ class DistributedCoordinator:
             )
         else:
             router = ZonePartition(region, regions)
+        logger.debug(
+            "opening stream: shards=%d executor=%s transport=%s",
+            len(router.box_groups),
+            self.executor,
+            self.transport,
+        )
         return DistributedStreamSession(
             fleet=drivers,
             cost_model=cost_model or MarketCostModel(),
@@ -1130,6 +1250,15 @@ class DistributedCoordinator:
         start = time.perf_counter()
         if reuse_pool and pool is None:
             pool = self.stream_pool()
+        recorder = obs_trace.active_recorder()
+        trace_mark = recorder.mark() if recorder is not None else 0
+        root_span = (
+            recorder.begin(
+                "solve", executor=self.executor, solver=self.solver_name
+            )
+            if recorder is not None
+            else obs_trace.DROPPED
+        )
         # Wire accounting: pooled solves diff the pool's cumulative counters;
         # the fork path gets a scratch stats object filled by ``_solve_live``.
         fork_stats = TransportStats()
@@ -1140,7 +1269,8 @@ class DistributedCoordinator:
                 pool.stats.segment_reuses,
                 pool.stats.pickle_fallbacks,
             )
-        plan = self.partitioner.partition(instance)
+        with obs_trace.span("partition"):
+            plan = self.partitioner.partition(instance)
         requests = [
             ShardWorkRequest(
                 shard_id=shard.spec.shard_id,
@@ -1149,6 +1279,7 @@ class DistributedCoordinator:
                 solver_name=self.solver_name,
                 seed=self.base_seed + shard.spec.shard_id,
                 gap_threshold=self.gap_threshold,
+                trace=recorder is not None,
             )
             for shard in plan.shards
         ]
@@ -1177,13 +1308,27 @@ class DistributedCoordinator:
             results[position] = result
         solved = [result for result in results if result is not None]
 
-        merged: Dict[str, Tuple[int, ...]] = {}
-        merged_profits: Dict[str, float] = {}
-        for shard, result in zip(plan.shards, solved):
-            merged.update(translate_assignment(shard, result.assignment))
-            merged_profits.update(result.driver_profits)
+        # Stitch worker-side span trees under this solve's root span.
+        if recorder is not None:
+            for result in solved:
+                if result.spans:
+                    recorder.adopt(result.spans, parent_id=root_span)
 
-        solution = self._merge_solution(instance, merged, merged_profits)
+        with obs_trace.span("merge"):
+            merged: Dict[str, Tuple[int, ...]] = {}
+            merged_profits: Dict[str, float] = {}
+            for shard, result in zip(plan.shards, solved):
+                merged.update(translate_assignment(shard, result.assignment))
+                merged_profits.update(result.driver_profits)
+            solution = self._merge_solution(instance, merged, merged_profits)
+
+        phase_breakdown: Tuple[Tuple[str, float], ...] = ()
+        trace_span_count = 0
+        if recorder is not None:
+            recorder.end(root_span)
+            solve_spans = recorder.spans_since(trace_mark)
+            phase_breakdown = obs_trace.phase_totals(solve_spans)
+            trace_span_count = len(solve_spans)
         wall_clock = time.perf_counter() - start
         durations = tuple(r.elapsed_s for r in solved)
         if pool is not None:
@@ -1220,6 +1365,15 @@ class DistributedCoordinator:
                 if self.solver_name in EXACT_SOLVER_NAMES
                 else ()
             ),
+            phase_breakdown=phase_breakdown,
+            trace_span_count=trace_span_count,
+        )
+        logger.debug(
+            "solve merged: shards=%d served=%d value=%.3f executor=%s",
+            report.shard_count,
+            report.served_count,
+            report.total_value,
+            report.executor,
         )
         return DistributedResult(solution=solution, report=report, plan=plan)
 

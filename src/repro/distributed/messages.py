@@ -43,6 +43,10 @@ class ShardWorkRequest:
     #: greedy solution on shards whose gap against the Lagrangian bound is
     #: already below this threshold (ignored by the other solvers).
     gap_threshold: float = 0.02
+    #: Ask the worker to record flight-recorder spans while solving and ship
+    #: them back on :attr:`ShardWorkResult.spans`.  Solvers never read this —
+    #: parity contract 19 (traced == untraced merges) is structural.
+    trace: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -61,6 +65,11 @@ class ShardWorkResult:
     #: Bound sandwich computed by the exact tier (``solver_name`` "lp"/"auto");
     #: ``None`` for the heuristic solvers.
     bounds: Optional["ShardBounds"] = None
+    #: Flight-recorder spans collected worker-side while solving, as plain
+    #: ``repro.obs.trace.SpanTuple`` tuples (pickle-safe; empty when the
+    #: request did not ask for tracing).  The coordinator stitches these into
+    #: its own span tree via ``TraceRecorder.adopt``.
+    spans: Tuple = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -114,6 +123,18 @@ class CoordinatorReport:
     #: (``solver_name`` "lp"/"auto"); degenerate shards carry the zero record,
     #: heuristic solvers leave the tuple empty.
     per_shard_bounds: Tuple[Optional["ShardBounds"], ...] = ()
+    #: Per-phase seconds spent in this solve, summed over the stitched span
+    #: tree (coordinator + every worker) when tracing was enabled — pairs in
+    #: ``repro.obs.trace.PHASE_NAMES`` order (candidates / hungarian / lp /
+    #: transport / merge); empty when tracing was off.
+    phase_breakdown: Tuple[Tuple[str, float], ...] = ()
+    #: Spans recorded for this solve (0 when tracing was off).
+    trace_span_count: int = 0
+
+    @property
+    def phase_seconds(self) -> Dict[str, float]:
+        """``phase_breakdown`` as a dict (empty when tracing was off)."""
+        return dict(self.phase_breakdown)
 
     # ------------------------------------------------------------------
     # optimality-gap aggregates (exact tier only)
@@ -197,6 +218,10 @@ class ShardStreamResult:
     #: time, not wall clock).  Computed worker-side from the same outcome as
     #: the assignment, so it is executor-independent like everything else.
     wait_total_s: float = 0.0
+    #: Flight-recorder spans collected worker-side across the shard stream's
+    #: whole life (open -> appends -> finish), as plain
+    #: ``repro.obs.trace.SpanTuple`` tuples; empty when tracing was off.
+    spans: Tuple = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -230,6 +255,17 @@ class StreamReport:
     segment_reuses: int = 0
     #: Shm shipments that fell back to pickling (degraded environment).
     pickle_fallbacks: int = 0
+    #: Per-phase seconds spent in this stream, summed over the stitched span
+    #: tree (coordinator + every shard session) when tracing was enabled —
+    #: pairs in ``repro.obs.trace.PHASE_NAMES`` order; empty when off.
+    phase_breakdown: Tuple[Tuple[str, float], ...] = ()
+    #: Spans recorded for this stream (0 when tracing was off).
+    trace_span_count: int = 0
+
+    @property
+    def phase_seconds(self) -> Dict[str, float]:
+        """``phase_breakdown`` as a dict (empty when tracing was off)."""
+        return dict(self.phase_breakdown)
 
     @property
     def critical_path_speedup(self) -> float:

@@ -42,6 +42,8 @@ single-worker executors with a submission-order guarantee.
 from __future__ import annotations
 
 import itertools
+import logging
+import multiprocessing
 import os
 from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -50,6 +52,8 @@ from ..market.cost import MarketCostModel
 from ..market.driver import Driver
 from ..market.streaming import StreamingMarketInstance
 from ..market.task import Task
+from ..obs import logs as obs_logs
+from ..obs import trace as obs_trace
 from ..online.batch import BatchConfig, BatchedSimulator
 from ..runtime import pin_blas_threads
 from .messages import ShardStreamResult, Stopwatch
@@ -66,21 +70,28 @@ from .transport import (
 #: Executor policies accepted by the pool (mirrors the coordinator's).
 POOL_POLICIES = ("serial", "thread", "process")
 
+logger = logging.getLogger("repro.distributed.pool")
 
-def _slot_initializer(backend: Optional[str]) -> None:
+
+def _slot_initializer(backend: Optional[str], log_spec=None) -> None:
     """Runs once in every pool worker process, before any shard work.
 
     Pins the native BLAS/OpenMP pools to one thread — the pool's parallelism
     is *across* worker processes, and nested threading would oversubscribe
-    the cores — and selects the worker's compute backend when the pool was
+    the cores — selects the worker's compute backend when the pool was
     constructed with one (fails the worker loudly at startup for a backend
-    unavailable in the worker's environment, never silently mid-solve).
+    unavailable in the worker's environment, never silently mid-solve), and
+    routes the worker's ``repro.*`` log records into the parent's relay
+    queue (``log_spec`` is ``(queue, level)``, or None when the parent never
+    configured logging — then ``REPRO_LOG`` still applies worker-locally).
     """
     pin_blas_threads()
+    obs_logs.init_worker_logging(log_spec)
     if backend is not None:
         from .. import backends
 
         backends.set_backend(backend)
+    logger.debug("slot worker initialised: pid=%d backend=%s", os.getpid(), backend)
 
 
 class WorkerPoolBrokenError(RuntimeError):
@@ -116,11 +127,29 @@ class ShardStreamSession:
         drivers: Sequence[Driver],
         cost_model: MarketCostModel,
         config: Optional[BatchConfig] = None,
+        trace: bool = False,
     ) -> None:
         self.shard_id = shard_id
         self._instance = StreamingMarketInstance(drivers, cost_model)
         self._simulator = BatchedSimulator(self._instance, config or BatchConfig())
-        self._simulator.stream_begin()
+        # Session-lifetime flight recorder: spans from every append (and the
+        # nested candidate/Hungarian spans the simulator records) accumulate
+        # here and ship back on the finish result's ``spans`` tuple.  The
+        # recorder is installed thread-locally only for the duration of each
+        # call, so concurrent sessions on thread-pool slots never cross-talk.
+        self._recorder = obs_trace.TraceRecorder() if trace else None
+        self._root_span = (
+            self._recorder.begin(
+                "shard_stream", shard=shard_id, pid=os.getpid()
+            )
+            if self._recorder is not None
+            else obs_trace.DROPPED
+        )
+        previous = obs_trace.install_recorder(self._recorder)
+        try:
+            self._simulator.stream_begin()
+        finally:
+            obs_trace.install_recorder(previous)
         self._elapsed_s = 0.0
         self._task_count = 0
 
@@ -131,17 +160,29 @@ class ShardStreamSession:
 
     def append(self, tasks: Sequence[Task]) -> int:
         """Feed one arrival batch; returns the shard's running task count."""
-        with Stopwatch() as watch:
-            self._simulator.stream_feed(tasks)
+        previous = obs_trace.install_recorder(self._recorder)
+        try:
+            with obs_trace.span("append", batch_size=len(tasks)):
+                with Stopwatch() as watch:
+                    self._simulator.stream_feed(tasks)
+        finally:
+            obs_trace.install_recorder(previous)
         self._elapsed_s += watch.elapsed_s
         self._task_count += len(tasks)
         return self._task_count
 
     def finish(self) -> ShardStreamResult:
         """Flush the last window, settle every driver, report the result."""
-        with Stopwatch() as watch:
-            outcome = self._simulator.stream_end()
+        previous = obs_trace.install_recorder(self._recorder)
+        try:
+            with obs_trace.span("flush"):
+                with Stopwatch() as watch:
+                    outcome = self._simulator.stream_end()
+        finally:
+            obs_trace.install_recorder(previous)
         self._elapsed_s += watch.elapsed_s
+        if self._recorder is not None:
+            self._recorder.end(self._root_span)
         return ShardStreamResult(
             shard_id=self.shard_id,
             assignment=outcome.assignment(),
@@ -156,6 +197,7 @@ class ShardStreamSession:
             served_count=outcome.served_count,
             elapsed_s=self._elapsed_s,
             wait_total_s=outcome.total_wait_s,
+            spans=self._recorder.export() if self._recorder is not None else (),
         )
 
 
@@ -184,9 +226,10 @@ def _pool_open(
     drivers: Tuple[Driver, ...],
     cost_model: MarketCostModel,
     config: Optional[BatchConfig],
+    trace: bool = False,
 ) -> int:
     _SESSIONS[(token, shard_id)] = ShardStreamSession(
-        shard_id, drivers, cost_model, config
+        shard_id, drivers, cost_model, config, trace=trace
     )
     return shard_id
 
@@ -200,9 +243,15 @@ def _pool_append_shm(token: int, shard_id: int, desc: DeltaDescriptor) -> int:
     read from shared memory instead of the pickled call arguments.  Tasks are
     materialised inside this call (``tasks_from_delta`` builds plain objects),
     so no view outlives the segment's recycle window."""
-    return _SESSIONS[(token, shard_id)].append(
-        tasks_from_delta(delta_from_descriptor(desc))
-    )
+    session = _SESSIONS[(token, shard_id)]
+    # Install the session recorder around the rebuild so the attach span
+    # (recorded inside ``delta_from_descriptor``) lands on this shard's trace.
+    previous = obs_trace.install_recorder(session._recorder)
+    try:
+        tasks = tasks_from_delta(delta_from_descriptor(desc))
+    finally:
+        obs_trace.install_recorder(previous)
+    return session.append(tasks)
 
 
 def _pool_finish(token: int, shard_id: int) -> ShardStreamResult:
@@ -401,6 +450,15 @@ class PersistentWorkerPool:
         self._broken: Optional[WorkerPoolBrokenError] = None
         self.stats = TransportStats(transport=transport)
         self._shipper: Optional[ShmShipper] = None
+        self._log_queue = None
+        self._log_listener = None
+        logger.debug(
+            "pool created: executor=%s worker_count=%d transport=%s backend=%s",
+            executor,
+            self.worker_count,
+            transport,
+            backend,
+        )
         if backend is not None and executor != "process":
             # No worker initializer will run: the slots share this
             # interpreter, so select the backend here, process-globally.
@@ -423,6 +481,22 @@ class PersistentWorkerPool:
             self._shipper = ShmShipper(stats=self.stats)
         return self._shipper
 
+    def _log_spec(self):
+        """``(queue, level)`` relaying worker log records to this process.
+
+        Created lazily with the first process slot, and only when the parent
+        actually configured ``repro`` logging — otherwise workers get None
+        and fall back to their own ``REPRO_LOG`` handling, and the pool pays
+        nothing for the feature.
+        """
+        level = obs_logs.configured_level()
+        if level is None:
+            return None
+        if self._log_queue is None:
+            self._log_queue = multiprocessing.Queue()
+            self._log_listener = obs_logs.start_record_relay(self._log_queue)
+        return (self._log_queue, level)
+
     def _slot_executor(self, slot: int) -> Executor:
         pool = self._slots[slot]
         if pool is None:
@@ -432,7 +506,7 @@ class PersistentWorkerPool:
                 pool = ProcessPoolExecutor(
                     max_workers=1,
                     initializer=_slot_initializer,
-                    initargs=(self.backend,),
+                    initargs=(self.backend, self._log_spec()),
                 )
             self._slots[slot] = pool
         return pool
@@ -451,6 +525,12 @@ class PersistentWorkerPool:
         error so callers can chain it onto the executor's own exception.
         """
         if self._broken is None:
+            logger.error(
+                "worker slot %d/%d died mid-call (%s); closing the pool",
+                slot,
+                self.worker_count,
+                type(cause).__name__,
+            )
             self._broken = WorkerPoolBrokenError(
                 f"worker slot {slot}/{self.worker_count} of this {self.executor!r} "
                 f"pool died mid-call ({type(cause).__name__}: {cause}); the pool "
@@ -500,7 +580,11 @@ class PersistentWorkerPool:
         if self.shm_active:
             try:
                 desc = self.shipper.ship_delta(delta)
-            except (OSError, RuntimeError, ValueError):
+            except (OSError, RuntimeError, ValueError) as exc:
+                logger.warning(
+                    "shm shipment failed for shard %d, falling back to pickle: %s",
+                    delta.shard_id, exc,
+                )
                 self.stats.record_pickle(
                     delta.shard_id, delta_wire_bytes(delta), fallback=True
                 )
@@ -533,6 +617,16 @@ class PersistentWorkerPool:
         # clean.
         if self._shipper is not None:
             self._shipper.close()
+        # Workers are gone, so the relay queue can't receive more records;
+        # drain and stop the listener, then drop the queue's feeder thread.
+        if self._log_listener is not None:
+            self._log_listener.stop()
+            self._log_listener = None
+        if self._log_queue is not None:
+            self._log_queue.close()
+            self._log_queue.cancel_join_thread()
+            self._log_queue = None
+        logger.debug("pool closed: executor=%s", self.executor)
 
     def __enter__(self) -> "PersistentWorkerPool":
         return self

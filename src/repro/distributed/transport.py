@@ -52,6 +52,7 @@ solutions.
 from __future__ import annotations
 
 import itertools
+import logging
 import mmap
 import os
 import pickle
@@ -60,6 +61,10 @@ from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..obs import trace as obs_trace
+
+logger = logging.getLogger("repro.distributed.transport")
 
 try:  # the POSIX shm syscalls shared_memory itself is built on
     import _posixshmem
@@ -323,28 +328,30 @@ class ShmShipper:
         return seg.name, specs, nbytes
 
     def ship_delta(self, delta: ShardPayloadDelta) -> DeltaDescriptor:
-        blob, lens = _encode_ids(delta.task_ids)
-        arrays = [getattr(delta, f) for f in ShardPayloadDelta.ARRAY_FIELDS] + [blob, lens]
-        name, specs, nbytes = self._ship(arrays)
-        desc = DeltaDescriptor(shard_id=delta.shard_id, segment=name, specs=specs)
-        self.stats.record_shm(delta.shard_id, nbytes, len(pickle.dumps(desc)))
-        return desc
+        with obs_trace.span("transport:ship_delta", shard=delta.shard_id):
+            blob, lens = _encode_ids(delta.task_ids)
+            arrays = [getattr(delta, f) for f in ShardPayloadDelta.ARRAY_FIELDS] + [blob, lens]
+            name, specs, nbytes = self._ship(arrays)
+            desc = DeltaDescriptor(shard_id=delta.shard_id, segment=name, specs=specs)
+            self.stats.record_shm(delta.shard_id, nbytes, len(pickle.dumps(desc)))
+            return desc
 
     def ship_payload(self, payload: ShardPayload) -> PayloadDescriptor:
-        d_blob, d_lens = _encode_ids(payload.driver_ids)
-        t_blob, t_lens = _encode_ids(payload.task_ids)
-        arrays = [getattr(payload, f) for f in ShardPayload.ARRAY_FIELDS] + [
-            d_blob, d_lens, t_blob, t_lens,
-        ]
-        name, specs, nbytes = self._ship(arrays)
-        desc = PayloadDescriptor(
-            shard_id=payload.shard_id,
-            segment=name,
-            specs=specs,
-            cost_model=payload.cost_model,
-        )
-        self.stats.record_shm(payload.shard_id, nbytes, len(pickle.dumps(desc)))
-        return desc
+        with obs_trace.span("transport:ship_payload", shard=payload.shard_id):
+            d_blob, d_lens = _encode_ids(payload.driver_ids)
+            t_blob, t_lens = _encode_ids(payload.task_ids)
+            arrays = [getattr(payload, f) for f in ShardPayload.ARRAY_FIELDS] + [
+                d_blob, d_lens, t_blob, t_lens,
+            ]
+            name, specs, nbytes = self._ship(arrays)
+            desc = PayloadDescriptor(
+                shard_id=payload.shard_id,
+                segment=name,
+                specs=specs,
+                cost_model=payload.cost_model,
+            )
+            self.stats.record_shm(payload.shard_id, nbytes, len(pickle.dumps(desc)))
+            return desc
 
     def close(self) -> None:
         """Unlink every segment this shipper ever created (idempotent)."""
@@ -439,28 +446,30 @@ def delta_from_descriptor(desc: DeltaDescriptor) -> ShardPayloadDelta:
 
     The views are only valid until the shipping future completes; callers
     must materialise tasks before returning (both worker entry points do)."""
-    buf = _attach(desc.segment).buf
-    arrays = _read_arrays(buf, desc.specs)
-    *columns, blob, lens = arrays
-    return ShardPayloadDelta(
-        desc.shard_id,
-        _decode_ids(blob, lens),
-        *columns,
-    )
+    with obs_trace.span("transport:attach", shard=desc.shard_id):
+        buf = _attach(desc.segment).buf
+        arrays = _read_arrays(buf, desc.specs)
+        *columns, blob, lens = arrays
+        return ShardPayloadDelta(
+            desc.shard_id,
+            _decode_ids(blob, lens),
+            *columns,
+        )
 
 
 def payload_from_descriptor(desc: PayloadDescriptor) -> ShardPayload:
     """Rebuild a full payload from shared memory — array views, zero copies."""
-    buf = _attach(desc.segment).buf
-    arrays = _read_arrays(buf, desc.specs)
-    *columns, d_blob, d_lens, t_blob, t_lens = arrays
-    driver_cols = columns[:2]
-    task_cols = columns[2:]
-    return ShardPayload(
-        desc.shard_id,
-        _decode_ids(d_blob, d_lens),
-        *driver_cols,
-        _decode_ids(t_blob, t_lens),
-        *task_cols,
-        desc.cost_model,
-    )
+    with obs_trace.span("transport:attach", shard=desc.shard_id):
+        buf = _attach(desc.segment).buf
+        arrays = _read_arrays(buf, desc.specs)
+        *columns, d_blob, d_lens, t_blob, t_lens = arrays
+        driver_cols = columns[:2]
+        task_cols = columns[2:]
+        return ShardPayload(
+            desc.shard_id,
+            _decode_ids(d_blob, d_lens),
+            *driver_cols,
+            _decode_ids(t_blob, t_lens),
+            *task_cols,
+            desc.cost_model,
+        )

@@ -1,0 +1,244 @@
+"""Exposition: Chrome trace-event JSON, Prometheus text, and a tiny HTTP server.
+
+Chrome trace format — each finished span becomes one complete event
+(``"ph": "X"``) with microsecond timestamps rebased to the earliest span, so
+the file loads directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.  Track assignment follows the span tree: a span
+inherits the ``pid`` attribute of its nearest annotated ancestor (worker
+roots are stamped with their OS pid), so each worker process gets its own
+track and the coordinator's spans sit on track 0.
+
+Prometheus text exposition (version 0.0.4) — ``# HELP`` / ``# TYPE``
+comments per family, escaped label values, cumulative ``_bucket{le=...}``
+lines plus ``_sum`` / ``_count`` for histograms.
+
+The HTTP server is a hand-rolled ``asyncio.start_server`` responder (the
+container has no aiohttp and the service already owns an event loop):
+``GET /metrics`` renders a registry, ``GET /health`` renders a JSON payload,
+anything else is 404.  One request per connection, ``Connection: close``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import os
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import NO_PARENT, SpanTuple
+
+__all__ = [
+    "chrome_trace_events",
+    "render_prometheus",
+    "start_http_server",
+    "write_chrome_trace",
+]
+
+
+# -- Chrome trace-event JSON -----------------------------------------------
+
+
+def _resolve_pids(spans: Sequence[SpanTuple]) -> Dict[int, int]:
+    """Map span_id -> pid by walking up to the nearest ``pid`` attribute."""
+    by_id = {entry[0]: entry for entry in spans}
+    memo: Dict[int, int] = {}
+
+    def pid_of(span_id: int) -> int:
+        if span_id in memo:
+            return memo[span_id]
+        chain = []
+        current = span_id
+        pid = 0
+        while current in by_id and current not in memo:
+            chain.append(current)
+            entry = by_id[current]
+            attr_pid = next(
+                (value for key, value in entry[5] if key == "pid"), None
+            )
+            if attr_pid is not None:
+                pid = int(attr_pid)
+                break
+            parent = entry[1]
+            if parent == NO_PARENT or parent not in by_id:
+                break
+            current = parent
+        else:
+            if current in memo:
+                pid = memo[current]
+        for visited in chain:
+            memo[visited] = pid
+        return pid
+
+    for entry in spans:
+        pid_of(entry[0])
+    return memo
+
+
+def chrome_trace_events(spans: Sequence[SpanTuple]) -> List[dict]:
+    """Spans as Chrome trace complete events (list for ``traceEvents``)."""
+    if not spans:
+        return []
+    origin_s = min(entry[3] for entry in spans)
+    pids = _resolve_pids(spans)
+    events = []
+    for span_id, _parent, name, start_s, end_s, attrs in spans:
+        pid = pids.get(span_id, 0)
+        events.append(
+            {
+                "name": name,
+                "ph": "X",
+                "ts": round((start_s - origin_s) * 1e6, 3),
+                "dur": round(max(0.0, end_s - start_s) * 1e6, 3),
+                "pid": pid,
+                "tid": pid,
+                "args": {str(key): value for key, value in attrs},
+            }
+        )
+    return events
+
+
+def write_chrome_trace(path: str, spans: Sequence[SpanTuple]) -> None:
+    """Write spans as a Perfetto/chrome://tracing loadable JSON file."""
+    payload = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "pid": os.getpid()},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+# -- Prometheus text exposition --------------------------------------------
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: Iterable[Tuple[str, str]]) -> str:
+    parts = [f'{key}="{_escape_label(value)}"' for key, value in labels]
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in Prometheus text exposition format 0.0.4."""
+    lines: List[str] = []
+    for name, (kind, help_text, metrics) in registry.collect().items():
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for label_key, metric in sorted(metrics.items()):
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(
+                    f"{name}{_labels_text(label_key)} {_format_value(metric.value)}"
+                )
+            elif isinstance(metric, Histogram):
+                cumulative = 0
+                for bound, count in zip(metric.bounds, metric.counts):
+                    cumulative += count
+                    bucket_labels = _labels_text(
+                        list(label_key) + [("le", _format_value(bound))]
+                    )
+                    lines.append(f"{name}_bucket{bucket_labels} {cumulative}")
+                inf_labels = _labels_text(list(label_key) + [("le", "+Inf")])
+                lines.append(f"{name}_bucket{inf_labels} {metric.count}")
+                lines.append(
+                    f"{name}_sum{_labels_text(label_key)} {_format_value(metric.sum)}"
+                )
+                lines.append(f"{name}_count{_labels_text(label_key)} {metric.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- asyncio /metrics + /health endpoint -----------------------------------
+
+_MAX_REQUEST_BYTES = 16384
+
+
+def _http_response(status: str, content_type: str, body: bytes) -> bytes:
+    head = (
+        f"HTTP/1.1 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+async def _handle_request(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    registry_fn: Callable[[], MetricsRegistry],
+    health_fn: Optional[Callable[[], Mapping[str, object]]],
+) -> None:
+    try:
+        try:
+            raw = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=5.0
+            )
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            asyncio.TimeoutError,
+        ):
+            return
+        request_line = raw.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+        parts = request_line.split()
+        target = parts[1] if len(parts) >= 2 else ""
+        path = target.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(registry_fn()).encode("utf-8")
+            response = _http_response("200 OK", PROMETHEUS_CONTENT_TYPE, body)
+        elif path == "/health" and health_fn is not None:
+            body = json.dumps(health_fn()).encode("utf-8")
+            response = _http_response("200 OK", "application/json", body)
+        else:
+            response = _http_response(
+                "404 Not Found", "text/plain; charset=utf-8", b"not found\n"
+            )
+        writer.write(response)
+        await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def start_http_server(
+    registry_fn: Callable[[], MetricsRegistry],
+    health_fn: Optional[Callable[[], Mapping[str, object]]] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.AbstractServer:
+    """Serve ``/metrics`` (and ``/health``) on the current event loop.
+
+    ``registry_fn`` is called per scrape so the caller can hand back a
+    long-lived registry whose collectors read live objects.  Returns the
+    ``asyncio`` server; the bound port is
+    ``server.sockets[0].getsockname()[1]`` when ``port=0``.
+    """
+
+    async def handler(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await _handle_request(reader, writer, registry_fn, health_fn)
+
+    return await asyncio.start_server(
+        handler, host=host, port=port, limit=_MAX_REQUEST_BYTES
+    )

@@ -1,0 +1,149 @@
+"""Structured logging for the ``repro.*`` logger tree.
+
+Every module logs through ``logging.getLogger("repro.<module>")``; nothing
+is emitted until :func:`configure_logging` installs a handler on the
+``repro`` root — so library users who never opt in see no output change,
+and the CLI's diagnostic prints stay prints.  Configuration comes from
+``--log-level`` on the CLI or the ``REPRO_LOG`` environment variable
+(``REPRO_LOG=debug repro solve ...``); the flag wins when both are set.
+
+Worker processes can't see the parent's handlers, so the pool relays:
+:class:`~repro.distributed.pool.PersistentWorkerPool` creates a
+``multiprocessing.Queue``, the slot initializer calls
+:func:`init_worker_logging` to point the worker's ``repro`` logger at a
+``QueueHandler``, and the parent's :func:`start_record_relay` listener
+re-dispatches each record through the parent logger tree — one stream of
+records, worker provenance preserved in ``processName``.
+"""
+
+from __future__ import annotations
+
+import logging
+import logging.handlers
+import os
+from typing import Optional, Tuple
+
+__all__ = [
+    "configure_logging",
+    "configured_level",
+    "get_logger",
+    "init_worker_logging",
+    "resolve_level",
+    "start_record_relay",
+]
+
+ENV_VAR = "REPRO_LOG"
+ROOT_LOGGER = "repro"
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(processName)s %(name)s: %(message)s"
+
+_configured_level: Optional[int] = None
+
+_LEVELS = {
+    "critical": logging.CRITICAL,
+    "error": logging.ERROR,
+    "warning": logging.WARNING,
+    "info": logging.INFO,
+    "debug": logging.DEBUG,
+}
+
+
+def resolve_level(spec: object) -> Optional[int]:
+    """Parse a level name (``"debug"``) or number; None/"" -> None."""
+    if spec is None:
+        return None
+    if isinstance(spec, int):
+        return spec
+    text = str(spec).strip().lower()
+    if not text:
+        return None
+    if text in _LEVELS:
+        return _LEVELS[text]
+    if text.isdigit():
+        return int(text)
+    raise ValueError(
+        f"unknown log level {spec!r} (expected one of {sorted(_LEVELS)})"
+    )
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` tree (bare names are namespaced)."""
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_logging(level: object = None) -> Optional[int]:
+    """Install a stderr handler on the ``repro`` logger at ``level``.
+
+    ``level`` may be a name, a number, or None — None falls back to the
+    ``REPRO_LOG`` environment variable, and if that is unset too this is a
+    no-op returning None.  Idempotent: reconfiguring adjusts the level
+    without stacking handlers.
+    """
+    global _configured_level
+    resolved = resolve_level(level)
+    if resolved is None:
+        resolved = resolve_level(os.environ.get(ENV_VAR))
+    if resolved is None:
+        return None
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(resolved)
+    logger.propagate = False
+    if not any(
+        isinstance(handler, logging.StreamHandler)
+        and getattr(handler, "_repro_handler", False)
+        for handler in logger.handlers
+    ):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(LOG_FORMAT))
+        handler._repro_handler = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+    _configured_level = resolved
+    return resolved
+
+
+def configured_level() -> Optional[int]:
+    """The level :func:`configure_logging` last installed, if any."""
+    return _configured_level
+
+
+# -- worker-process relay ---------------------------------------------------
+
+
+class _RelayHandler(logging.Handler):
+    """Re-dispatch a worker's record through the parent's logger tree."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        logging.getLogger(record.name).handle(record)
+
+
+def start_record_relay(queue) -> logging.handlers.QueueListener:
+    """Parent side: drain worker records from ``queue`` into local handlers."""
+    listener = logging.handlers.QueueListener(
+        queue, _RelayHandler(), respect_handler_level=False
+    )
+    listener.start()
+    return listener
+
+
+def init_worker_logging(spec: Optional[Tuple[object, int]]) -> None:
+    """Worker side: route the ``repro`` tree into the parent's relay queue.
+
+    ``spec`` is ``(queue, level)`` as shipped through the slot initializer,
+    or None when the parent never configured logging (then workers fall back
+    to ``REPRO_LOG`` so a bare pool still honours the environment).
+    """
+    if spec is None:
+        configure_logging(None)
+        return
+    queue, level = spec
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level)
+    logger.propagate = False
+    if not any(
+        isinstance(handler, logging.handlers.QueueHandler)
+        for handler in logger.handlers
+    ):
+        logger.addHandler(logging.handlers.QueueHandler(queue))
+    global _configured_level
+    _configured_level = level

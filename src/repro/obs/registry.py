@@ -1,0 +1,288 @@
+"""Unified counters / gauges / histograms with bounded memory.
+
+One registry, one schema: the asyncio service, the coordinator, and the
+benchmarks all describe themselves through the same three instrument kinds,
+and :func:`repro.obs.export.render_prometheus` turns any registry into text
+exposition.  Memory is bounded by construction — counters and gauges are a
+single float, histograms hold a fixed bucket array, and the latency views
+below read :class:`~repro.service.metrics.LatencyRecorder`'s fixed-size
+reservoir rather than keeping samples of their own.
+
+Existing stat carriers are **absorbed as views, not rewritten**:
+:func:`bind_city_metrics` and :func:`bind_transport_stats` register
+*collectors* — callbacks run at scrape time that copy the live object's
+current values into registry instruments.  The carriers stay the source of
+truth (and keep their ``snapshot()`` dict APIs); the registry is how they
+reach ``/metrics``.  Both binders are duck-typed on the carrier's public
+attributes so this module imports neither the service nor the transport
+layer.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "bind_city_metrics",
+    "bind_transport_stats",
+]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Latency buckets in seconds (5ms .. 10s), Prometheus-style upper bounds.
+DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class Counter:
+    """Monotonically non-decreasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def set_total(self, value: float) -> None:
+        """Collector hook: adopt an externally-maintained monotone total."""
+        self.value = max(self.value, float(value))
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative on render, plain counts in memory)."""
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S) -> None:
+        self.bounds = tuple(sorted(float(b) for b in bounds))
+        self.counts = [0] * (len(self.bounds) + 1)  # last slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def set_state(
+        self, counts: Iterable[int], total_sum: float, total_count: int
+    ) -> None:
+        """Collector hook: adopt externally-maintained bucket counts."""
+        counts = list(counts)
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"expected {len(self.counts)} bucket counts, got {len(counts)}"
+            )
+        self.counts = counts
+        self.sum = float(total_sum)
+        self.count = int(total_count)
+
+
+class _Family:
+    __slots__ = ("kind", "help", "bounds", "metrics")
+
+    def __init__(self, kind: str, help_text: str, bounds: Optional[Tuple[float, ...]]):
+        self.kind = kind
+        self.help = help_text
+        self.bounds = bounds
+        self.metrics: Dict[LabelKey, object] = {}
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Get-or-create instrument registry keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    def _instrument(
+        self,
+        kind: str,
+        name: str,
+        help_text: str,
+        labels: Mapping[str, object],
+        bounds: Optional[Tuple[float, ...]] = None,
+    ):
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(kind, help_text, bounds)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(f"{name!r} already registered as {family.kind}")
+        key = _label_key(labels)
+        metric = family.metrics.get(key)
+        if metric is None:
+            if kind == "counter":
+                metric = Counter()
+            elif kind == "gauge":
+                metric = Gauge()
+            else:
+                metric = Histogram(family.bounds or DEFAULT_LATENCY_BUCKETS_S)
+            family.metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str = "", **labels: object) -> Counter:
+        return self._instrument("counter", name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "", **labels: object) -> Gauge:
+        return self._instrument("gauge", name, help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+        **labels: object,
+    ) -> Histogram:
+        return self._instrument("histogram", name, help_text, labels, tuple(buckets))
+
+    def register_collector(
+        self, collector: Callable[["MetricsRegistry"], None]
+    ) -> None:
+        """Add a scrape-time callback that refreshes view-backed instruments."""
+        self._collectors.append(collector)
+
+    def collect(self) -> Dict[str, Tuple[str, str, Dict[LabelKey, object]]]:
+        """Run collectors, then return ``{name: (kind, help, metrics)}``."""
+        for collector in self._collectors:
+            collector(self)
+        return {
+            name: (family.kind, family.help, dict(family.metrics))
+            for name, family in sorted(self._families.items())
+        }
+
+
+# -- views over existing stat carriers -------------------------------------
+
+
+def _observe_recorder(histogram: Histogram, recorder: object) -> None:
+    """Copy a LatencyRecorder's exact bucket/sum/count state into a histogram."""
+    histogram.set_state(
+        recorder.bucket_counts(),  # type: ignore[attr-defined]
+        recorder.sum_seconds,  # type: ignore[attr-defined]
+        len(recorder),  # type: ignore[arg-type]
+    )
+
+
+def bind_city_metrics(
+    registry: MetricsRegistry, metrics: object, city: str = ""
+) -> None:
+    """Expose a live ``CityMetrics`` through the registry (scrape-time view).
+
+    Duck-typed on the public ``CityMetrics`` surface: integer counters
+    (orders/batches/epochs/backpressure_events/served), the ``serve_rate``
+    property, the ``dispatch`` latency recorder, and the lazy
+    ``per_shard_append`` recorder map.
+    """
+
+    def collect(reg: MetricsRegistry) -> None:
+        reg.counter(
+            "repro_orders_total", "Orders accepted by the gateway", city=city
+        ).set_total(metrics.orders)
+        reg.counter(
+            "repro_batches_total", "Publish-ordered batches shipped", city=city
+        ).set_total(metrics.batches)
+        reg.counter(
+            "repro_epochs_total", "Stream epochs rotated", city=city
+        ).set_total(metrics.epochs)
+        reg.counter(
+            "repro_backpressure_events_total",
+            "Times ingest waited on a deep shard queue",
+            city=city,
+        ).set_total(metrics.backpressure_events)
+        reg.counter(
+            "repro_served_total", "Orders served across finished epochs", city=city
+        ).set_total(metrics.served)
+        serve_rate = metrics.serve_rate
+        reg.gauge(
+            "repro_serve_rate", "served / orders over finished epochs", city=city
+        ).set(serve_rate if serve_rate is not None else math.nan)
+        bounds = tuple(metrics.dispatch.BUCKET_BOUNDS_S)
+        dispatch = reg.histogram(
+            "repro_dispatch_latency_seconds",
+            "Order submit -> dispatch decision latency",
+            buckets=bounds,
+            city=city,
+        )
+        _observe_recorder(dispatch, metrics.dispatch)
+        for shard_id, recorder in sorted(metrics.per_shard_append.items()):
+            append = reg.histogram(
+                "repro_append_latency_seconds",
+                "Batch append round-trip per shard",
+                buckets=bounds,
+                city=city,
+                shard=shard_id,
+            )
+            _observe_recorder(append, recorder)
+
+    registry.register_collector(collect)
+
+
+def bind_transport_stats(
+    registry: MetricsRegistry, stats: object, **labels: object
+) -> None:
+    """Expose a live ``TransportStats`` through the registry.
+
+    Duck-typed on ``snapshot()``; every numeric key becomes either a counter
+    (monotone totals) or a gauge.
+    """
+
+    _monotone = (
+        "_bytes", "_reuses", "_fallbacks", "_shipments", "_created", "_retired",
+    )
+
+    def collect(reg: MetricsRegistry) -> None:
+        snapshot = stats.snapshot()  # type: ignore[attr-defined]
+        for key, value in snapshot.items():
+            if not isinstance(value, (int, float)):
+                continue
+            name = f"repro_transport_{key}"
+            if key.endswith(_monotone) or key == "bytes_over_pipe":
+                reg.counter(
+                    name + "_total", f"TransportStats.{key}", **labels
+                ).set_total(value)
+            else:
+                reg.gauge(name, f"TransportStats.{key}", **labels).set(value)
+
+    registry.register_collector(collect)

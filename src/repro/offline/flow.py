@@ -51,6 +51,7 @@ from scipy import optimize
 from ..core.objectives import Objective
 from ..core.solution import MarketSolution
 from ..market.instance import MarketInstance
+from ..obs import trace as obs_trace
 from .dag import best_path
 from .exact import ExactSolverError
 from .formulation import ArcFlowModel, build_arc_flow_model
@@ -211,15 +212,16 @@ def lp_flow_optimum(
             fractional_arc_count=0,
         )
 
-    result = optimize.linprog(
-        c=-model.objective,  # linprog minimises
-        A_ub=model.A_ub,
-        b_ub=model.b_ub,
-        A_eq=model.A_eq,
-        b_eq=model.b_eq,
-        bounds=(0.0, 1.0),
-        method="highs",
-    )
+    with obs_trace.span("lp", variables=model.variable_count):
+        result = optimize.linprog(
+            c=-model.objective,  # linprog minimises
+            A_ub=model.A_ub,
+            b_ub=model.b_ub,
+            A_eq=model.A_eq,
+            b_eq=model.b_eq,
+            bounds=(0.0, 1.0),
+            method="highs",
+        )
     if not result.success:
         raise FlowSolverError(f"arc-flow LP failed: {result.message}")
     values = np.asarray(result.x)
@@ -331,14 +333,16 @@ def solve_exact_tier(
     if instance.task_count == 0 or instance.driver_count == 0:
         return MarketSolution.empty(instance, objective), ShardBounds.zero()
 
-    greedy = GreedySolver(objective).solve(instance).solution
+    with obs_trace.span("greedy"):
+        greedy = GreedySolver(objective).solve(instance).solution
     greedy_value = greedy.total_value
-    lagrangian = lagrangian_bound(
-        instance,
-        objective,
-        iterations=lagrangian_iterations,
-        target_value=greedy_value,
-    ).upper_bound
+    with obs_trace.span("lagrangian", iterations=lagrangian_iterations):
+        lagrangian = lagrangian_bound(
+            instance,
+            objective,
+            iterations=lagrangian_iterations,
+            target_value=greedy_value,
+        ).upper_bound
 
     if mode == "auto" and relative_gap(greedy_value, lagrangian) <= gap_threshold:
         bounds = ShardBounds(

@@ -43,6 +43,7 @@ from scipy import optimize
 
 from ..market.instance import MarketInstance
 from ..market.task import Task
+from ..obs import trace as obs_trace
 from .candidates import CandidateKernel
 from .outcome import OnlineDriverRecord, OnlineOutcome
 from .state import Candidate, DriverState
@@ -428,7 +429,8 @@ class BatchedSimulator:
         # One vectorised pass builds the feasibility masks and marginal-value
         # matrix for the whole window (a cross_km call per leg kind) instead
         # of a nested Python loop over (task, driver) pairs.
-        candidates_by_task = self._kernel.candidates_for_window(window, now_ts)
+        with obs_trace.span("candidates", window_size=len(window)):
+            candidates_by_task = self._kernel.candidates_for_window(window, now_ts)
         live_tasks = [m for m in window if m in candidates_by_task]
 
         if not live_tasks:
@@ -481,7 +483,10 @@ class BatchedSimulator:
             for (m, driver_id), candidate in candidate_lookup.items():
                 cost[task_pos[m], driver_pos[driver_id]] = -candidate.marginal_value
 
-        rows, cols = optimize.linear_sum_assignment(cost)
+        with obs_trace.span(
+            "hungarian", tasks=len(live_tasks), drivers=len(driver_ids)
+        ):
+            rows, cols = optimize.linear_sum_assignment(cost)
         assigned: Dict[int, str] = {}
         for i, j in zip(rows, cols):
             if cost[i, j] >= _INFEASIBLE:

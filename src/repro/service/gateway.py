@@ -48,11 +48,14 @@ for that epoch.  The service may only ever add scheduling around the engine
 from __future__ import annotations
 
 import asyncio
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import trace as obs_trace
+from ..obs.registry import MetricsRegistry, bind_city_metrics, bind_transport_stats
 from ..distributed import (
     DistributedCoordinator,
     DistributedStreamResult,
@@ -69,6 +72,8 @@ from ..online.batch import BatchConfig
 from .batcher import WindowBatcher
 from .events import OrderEvent, OrderReceipt
 from .metrics import CityMetrics
+
+logger = logging.getLogger("repro.service.gateway")
 
 
 class _BatchTracker:
@@ -242,6 +247,10 @@ class DispatchService:
         )
         runtime.fresh_epoch()
         self._cities[name] = runtime
+        logger.info(
+            "registered city %s: %d drivers, %dx%d grid, %s executor",
+            name, len(runtime.drivers), rows, cols, executor,
+        )
         return runtime
 
     def _city(self, name: str) -> CityRuntime:
@@ -351,7 +360,8 @@ class DispatchService:
         receipts = runtime.open_receipts[: len(batch)]
         del runtime.open_receipts[: len(batch)]
         ship_s = time.perf_counter()
-        shipped = runtime.session.append_batch(batch)
+        with obs_trace.span("gateway:ship", city=runtime.name, batch_size=len(batch)):
+            shipped = runtime.session.append_batch(batch)
         runtime.metrics.batches += 1
         if self.record_batches:
             runtime.recorded[-1].append(batch)
@@ -369,6 +379,10 @@ class DispatchService:
         depths = runtime.session.pending_counts()
         if depths and max(depths.values()) >= self.backpressure_depth:
             runtime.metrics.backpressure_events += 1
+            logger.debug(
+                "backpressure barrier for %s: deepest shard queue %d >= %d",
+                runtime.name, max(depths.values()), self.backpressure_depth,
+            )
             await runtime.session.wait_pending()
 
     async def _drain(self) -> None:
@@ -430,6 +444,38 @@ class DispatchService:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
+    def metrics_registry(self) -> MetricsRegistry:
+        """A :class:`~repro.obs.registry.MetricsRegistry` whose collectors
+        read this service's live counters at scrape time.
+
+        Every registered city's :class:`CityMetrics` is bound under a
+        ``city`` label, and each city pool's transport counters under
+        ``city`` + ``transport`` labels; plus service-level gauges for the
+        ingestion queue depth and tenant count.  Re-call after registering
+        new cities — bindings are per-city.
+        """
+        registry = MetricsRegistry()
+        queue_gauge = registry.gauge(
+            "repro_ingest_queue_depth", "Orders waiting in the ingestion queue."
+        )
+        city_gauge = registry.gauge(
+            "repro_cities", "Tenant cities registered on the gateway."
+        )
+
+        def _service_collector(_reg: MetricsRegistry) -> None:
+            queue_gauge.set(self._queue.qsize())
+            city_gauge.set(len(self._cities))
+
+        registry.register_collector(_service_collector)
+        for name, runtime in self._cities.items():
+            bind_city_metrics(registry, runtime.metrics, city=name)
+            pool = runtime.coordinator.current_pool
+            if pool is not None:
+                bind_transport_stats(
+                    registry, pool.stats, city=name, transport=pool.stats.transport
+                )
+        return registry
+
     def health(self) -> Dict[str, object]:
         """A JSON-serialisable snapshot: queue depth, per-city counters,
         per-shard window-queue depths and latency percentiles."""

@@ -66,6 +66,9 @@ class SoakConfig:
     #: soak samples to keep parity from doubling its wall clock; the smoke
     #: checks everything.
     parity_epochs: Optional[int] = 1
+    #: When set, serve Prometheus ``/metrics`` + JSON ``/health`` on
+    #: ``127.0.0.1:<port>`` for the duration of the soak (0 = ephemeral).
+    metrics_port: Optional[int] = None
 
     @property
     def orders_per_epoch(self) -> int:
@@ -272,7 +275,29 @@ async def _run_soak_async(config: SoakConfig, on_ready=None) -> SoakReport:
     async with DispatchService(
         backpressure_depth=config.backpressure_depth
     ) as service:
-        return await _soak(config, service, on_ready)
+        server = None
+        if config.metrics_port is not None:
+            from ..obs import start_http_server
+
+            # Cities register after the server starts, so rebuild the
+            # registry whenever the tenant set grows (scrapes are rare).
+            cache: Dict[str, object] = {}
+
+            def registry_fn():
+                if cache.get("cities") != len(service.runtimes()):
+                    cache["registry"] = service.metrics_registry()
+                    cache["cities"] = len(service.runtimes())
+                return cache["registry"]
+
+            server = await start_http_server(
+                registry_fn, health_fn=service.health, port=config.metrics_port
+            )
+        try:
+            return await _soak(config, service, on_ready)
+        finally:
+            if server is not None:
+                server.close()
+                await server.wait_closed()
 
 
 def run_soak(config: SoakConfig, on_ready=None) -> SoakReport:

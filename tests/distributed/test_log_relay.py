@@ -1,0 +1,71 @@
+"""Worker-process log records reach the parent's ``repro`` logger tree.
+
+The pool lazily builds a ``multiprocessing.Queue`` + ``QueueListener`` relay
+only when logging is configured; slot initializers point each worker's
+``repro`` root at a ``QueueHandler``.  Records therefore arrive in the
+parent with their worker ``processName`` intact — and a pool with logging
+unconfigured builds no relay machinery at all.
+"""
+
+import logging
+
+import pytest
+
+from repro.distributed import DistributedCoordinator, SpatialPartitioner
+from repro.geo import PORTO
+from repro.obs import logs as obs_logs
+from repro.online.batch import BatchConfig
+
+from ..conftest import build_random_instance
+
+
+class _Capture(logging.Handler):
+    def __init__(self):
+        super().__init__(level=logging.DEBUG)
+        self.records = []
+
+    def emit(self, record):
+        self.records.append(record)
+
+
+@pytest.fixture
+def capture():
+    obs_logs.configure_logging("DEBUG")
+    root = logging.getLogger(obs_logs.ROOT_LOGGER)
+    handler = _Capture()
+    root.addHandler(handler)
+    yield handler
+    root.removeHandler(handler)
+    for installed in list(root.handlers):
+        if getattr(installed, "_repro_handler", False):
+            root.removeHandler(installed)
+    root.propagate = True
+    root.setLevel(logging.NOTSET)
+    obs_logs._configured_level = None
+
+
+def test_process_worker_records_are_relayed(capture):
+    instance = build_random_instance(task_count=30, driver_count=8, seed=43)
+    with DistributedCoordinator(
+        SpatialPartitioner(PORTO, 2, 2), executor="process"
+    ) as coordinator:
+        coordinator.solve_stream(instance, config=BatchConfig(window_s=600.0))
+    worker_records = [
+        record for record in capture.records
+        if record.processName != "MainProcess"
+    ]
+    assert worker_records, "no worker-process records were relayed"
+    assert any(
+        "slot worker initialised" in record.getMessage()
+        for record in worker_records
+    )
+    assert all(record.name.startswith("repro") for record in capture.records)
+
+
+def test_unconfigured_pool_builds_no_relay():
+    from repro.distributed.pool import PersistentWorkerPool
+
+    assert obs_logs.configured_level() is None
+    with PersistentWorkerPool(executor="process", worker_count=1) as pool:
+        assert pool._log_spec() is None
+        assert pool._log_listener is None

@@ -1,0 +1,175 @@
+"""Exposition: Chrome trace JSON, Prometheus text format, the HTTP endpoint."""
+
+import asyncio
+import json
+import re
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    chrome_trace_events,
+    render_prometheus,
+    start_http_server,
+    write_chrome_trace,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NO_PARENT, TraceRecorder
+
+
+def _sample_spans():
+    recorder = TraceRecorder()
+    with recorder.span("solve", pid=100):
+        with recorder.span("candidates"):
+            pass
+    with recorder.span("orphan"):
+        pass
+    return recorder.export()
+
+
+class TestChromeTrace:
+    def test_events_are_complete_events_with_rebased_micros(self):
+        events = chrome_trace_events(_sample_spans())
+        assert len(events) == 3
+        assert all(event["ph"] == "X" for event in events)
+        assert min(event["ts"] for event in events) == 0.0
+        assert all(event["dur"] >= 0.0 for event in events)
+
+    def test_pid_inherited_from_nearest_annotated_ancestor(self):
+        by_name = {event["name"]: event for event in chrome_trace_events(_sample_spans())}
+        assert by_name["solve"]["pid"] == 100
+        assert by_name["candidates"]["pid"] == 100  # inherits through the tree
+        assert by_name["orphan"]["pid"] == 0  # no pid anywhere above
+
+    def test_attrs_become_args(self):
+        by_name = {event["name"]: event for event in chrome_trace_events(_sample_spans())}
+        assert by_name["solve"]["args"] == {"pid": 100}
+
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), _sample_spans())
+        payload = json.loads(path.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_empty_spans_write_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.json"
+        write_chrome_trace(str(path), ())
+        assert json.loads(path.read_text())["traceEvents"] == []
+
+
+# One Prometheus exposition line: name{labels} value  (labels optional).
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? "
+    r"(NaN|[+-]Inf|[+-]?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$"
+)
+
+
+def _filled_registry():
+    registry = MetricsRegistry()
+    registry.counter("repro_orders_total", "Orders accepted", city="porto").inc(41)
+    registry.gauge("repro_queue_depth", "Queue depth").set(3)
+    hist = registry.histogram(
+        "repro_latency_seconds", "Latency", buckets=(0.1, 1.0), city='po"rto\n'
+    )
+    for value in (0.05, 0.5, 5.0):
+        hist.observe(value)
+    return registry
+
+
+class TestPrometheusText:
+    def test_every_line_parses(self):
+        text = render_prometheus(_filled_registry())
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ", line)
+            else:
+                assert _SAMPLE_RE.match(line), line
+
+    def test_histogram_buckets_are_cumulative_and_consistent(self):
+        text = render_prometheus(_filled_registry())
+        buckets = [
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_latency_seconds_bucket")
+        ]
+        assert buckets == sorted(buckets)  # cumulative
+        count = next(
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_latency_seconds_count")
+        )
+        assert buckets[-1] == count  # +Inf bucket equals _count
+        total = next(
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_latency_seconds_sum")
+        )
+        assert total == pytest.approx(5.55)
+
+    def test_label_values_are_escaped(self):
+        text = render_prometheus(_filled_registry())
+        assert r"po\"rto\n" in text
+        assert "\n\n" not in text
+
+    def test_help_and_type_precede_samples(self):
+        lines = render_prometheus(_filled_registry()).splitlines()
+        index = lines.index("# TYPE repro_orders_total counter")
+        assert lines[index - 1].startswith("# HELP repro_orders_total")
+        assert lines[index + 1].startswith("repro_orders_total{")
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestHttpServer:
+    def _fetch(self, port, path):
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as response:
+            return response.status, response.headers.get("Content-Type"), response.read()
+
+    def test_metrics_health_and_404(self):
+        async def scenario():
+            registry = _filled_registry()
+            server = await start_http_server(
+                lambda: registry, health_fn=lambda: {"status": "ok"}, port=0
+            )
+            port = server.sockets[0].getsockname()[1]
+            loop = asyncio.get_running_loop()
+            try:
+                status, ctype, body = await loop.run_in_executor(
+                    None, self._fetch, port, "/metrics"
+                )
+                assert status == 200
+                assert ctype == PROMETHEUS_CONTENT_TYPE
+                assert b"repro_orders_total" in body
+                status, ctype, body = await loop.run_in_executor(
+                    None, self._fetch, port, "/health"
+                )
+                assert status == 200
+                assert json.loads(body) == {"status": "ok"}
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    await loop.run_in_executor(None, self._fetch, port, "/nope")
+                assert err.value.code == 404
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_health_404_when_no_health_fn(self):
+        async def scenario():
+            server = await start_http_server(MetricsRegistry, port=0)
+            port = server.sockets[0].getsockname()[1]
+            loop = asyncio.get_running_loop()
+            try:
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    await loop.run_in_executor(None, self._fetch, port, "/health")
+                assert err.value.code == 404
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())

@@ -1,0 +1,115 @@
+"""Structured logging: level resolution, idempotent setup, the worker relay."""
+
+import logging
+import logging.handlers
+import multiprocessing
+import queue
+
+import pytest
+
+from repro.obs import logs as obs_logs
+
+
+@pytest.fixture(autouse=True)
+def _clean_root_logger():
+    """Strip any repro handlers/config so tests see a pristine logger tree."""
+
+    def strip():
+        root = logging.getLogger(obs_logs.ROOT_LOGGER)
+        for handler in list(root.handlers):
+            if getattr(handler, "_repro_handler", False):
+                root.removeHandler(handler)
+        root.propagate = True
+        root.setLevel(logging.NOTSET)
+        obs_logs._configured_level = None
+
+    strip()
+    yield
+    strip()
+
+
+class TestResolveLevel:
+    def test_names_and_digits(self):
+        assert obs_logs.resolve_level("DEBUG") == logging.DEBUG
+        assert obs_logs.resolve_level("info") == logging.INFO
+        assert obs_logs.resolve_level("30") == logging.WARNING
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            obs_logs.resolve_level("chatty")
+
+
+class TestConfigureLogging:
+    def test_none_without_env_is_a_noop(self, monkeypatch):
+        monkeypatch.delenv(obs_logs.ENV_VAR, raising=False)
+        obs_logs.configure_logging(None)
+        assert obs_logs.configured_level() is None
+        root = logging.getLogger(obs_logs.ROOT_LOGGER)
+        assert not any(
+            getattr(handler, "_repro_handler", False) for handler in root.handlers
+        )
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv(obs_logs.ENV_VAR, "WARNING")
+        obs_logs.configure_logging(None)
+        assert obs_logs.configured_level() == logging.WARNING
+
+    def test_explicit_level_wins_and_is_idempotent(self, monkeypatch):
+        monkeypatch.setenv(obs_logs.ENV_VAR, "ERROR")
+        obs_logs.configure_logging("DEBUG")
+        obs_logs.configure_logging("DEBUG")
+        root = logging.getLogger(obs_logs.ROOT_LOGGER)
+        marked = [
+            handler for handler in root.handlers
+            if getattr(handler, "_repro_handler", False)
+        ]
+        assert len(marked) == 1  # no handler stacking on re-configure
+        assert obs_logs.configured_level() == logging.DEBUG
+        assert root.propagate is False
+
+    def test_get_logger_is_namespaced(self):
+        assert obs_logs.get_logger("distributed.pool").name == "repro.distributed.pool"
+
+
+class TestRecordRelay:
+    def test_relayed_records_reach_parent_loggers(self, caplog):
+        record_queue = queue.Queue()
+        listener = obs_logs.start_record_relay(record_queue)
+        try:
+            worker_logger = logging.getLogger("repro.test.relay")
+            record = worker_logger.makeRecord(
+                "repro.test.relay", logging.WARNING, __file__, 1,
+                "hello from worker", (), None,
+            )
+            with caplog.at_level(logging.WARNING, logger="repro.test.relay"):
+                record_queue.put(record)
+                listener.stop()  # drains the queue before returning
+                listener = None
+            assert any(
+                "hello from worker" in message for message in caplog.messages
+            )
+        finally:
+            if listener is not None:
+                listener.stop()
+
+    def test_init_worker_logging_installs_queue_handler(self):
+        record_queue = multiprocessing.Queue()
+        obs_logs.init_worker_logging((record_queue, logging.INFO))
+        root = logging.getLogger(obs_logs.ROOT_LOGGER)
+        handlers = [
+            handler for handler in root.handlers
+            if isinstance(handler, logging.handlers.QueueHandler)
+        ]
+        try:
+            assert handlers
+            assert obs_logs.configured_level() == logging.INFO
+        finally:
+            for handler in handlers:
+                root.removeHandler(handler)
+            record_queue.close()
+            record_queue.cancel_join_thread()
+
+    def test_init_worker_logging_none_falls_back_to_env(self, monkeypatch):
+        monkeypatch.delenv(obs_logs.ENV_VAR, raising=False)
+        obs_logs.init_worker_logging(None)
+        assert obs_logs.configured_level() is None

@@ -1,0 +1,169 @@
+"""Registry semantics and the view bindings over existing stat carriers."""
+
+import math
+
+import pytest
+
+from repro.distributed.transport import TransportStats
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bind_city_metrics,
+    bind_transport_stats,
+)
+from repro.service.metrics import CityMetrics
+
+
+class TestInstruments:
+    def test_counter_is_monotone(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_counter_set_total_never_regresses(self):
+        counter = Counter()
+        counter.set_total(10)
+        counter.set_total(4)  # a collector view must not go backwards
+        assert counter.value == 10
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(5)
+        gauge.inc(-2)
+        assert gauge.value == 3
+
+    def test_histogram_buckets_and_totals(self):
+        hist = Histogram(bounds=(1.0, 2.0))
+        for value in (0.5, 1.5, 1.5, 99.0):
+            hist.observe(value)
+        assert hist.counts == [1, 2, 1]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(102.5)
+        assert sum(hist.counts) == hist.count
+
+    def test_histogram_set_state_validates_length(self):
+        hist = Histogram(bounds=(1.0,))
+        with pytest.raises(ValueError):
+            hist.set_state([1, 2, 3], 0.0, 6)
+
+
+class TestRegistry:
+    def test_get_or_create_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", "help", city="a")
+        again = registry.counter("repro_x_total", city="a")
+        other = registry.counter("repro_x_total", city="b")
+        assert a is again
+        assert a is not other
+
+    def test_kind_conflicts_are_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_x_total")
+
+    def test_collect_runs_collectors_and_sorts(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_b")
+        registry.counter("repro_a_total")
+        registry.register_collector(lambda reg: gauge.set(7))
+        collected = registry.collect()
+        assert list(collected) == ["repro_a_total", "repro_b"]
+        kind, _help, metrics = collected["repro_b"]
+        assert kind == "gauge"
+        (metric,) = metrics.values()
+        assert metric.value == 7
+
+
+class TestCityMetricsView:
+    def _metrics(self):
+        metrics = CityMetrics()
+        metrics.orders = 10
+        metrics.batches = 3
+        metrics.epochs = 1
+        metrics.served = 6
+        metrics.dispatch.record(0.02)
+        metrics.dispatch.record(0.2)
+        metrics.record_append(2, 0.05)
+        return metrics
+
+    def test_snapshot_values_reach_the_registry(self):
+        registry = MetricsRegistry()
+        bind_city_metrics(registry, self._metrics(), city="porto")
+        collected = registry.collect()
+        label = (("city", "porto"),)
+        assert collected["repro_orders_total"][2][label].value == 10
+        assert collected["repro_served_total"][2][label].value == 6
+        assert collected["repro_serve_rate"][2][label].value == pytest.approx(0.6)
+        dispatch = collected["repro_dispatch_latency_seconds"][2][label]
+        assert dispatch.count == 2
+        assert dispatch.sum == pytest.approx(0.22)
+        assert sum(dispatch.counts) == dispatch.count
+
+    def test_per_shard_append_histograms_get_shard_label(self):
+        registry = MetricsRegistry()
+        bind_city_metrics(registry, self._metrics(), city="porto")
+        metrics = registry.collect()["repro_append_latency_seconds"][2]
+        assert (("city", "porto"), ("shard", "2")) in metrics
+
+    def test_serve_rate_without_finished_epochs_is_nan(self):
+        registry = MetricsRegistry()
+        metrics = CityMetrics()
+        metrics.orders = 5  # no epochs finished yet -> serve_rate is None
+        metrics.epochs = 0
+        metrics.served = 0
+        bind_city_metrics(registry, metrics, city="c")
+        value = registry.collect()["repro_serve_rate"][2][(("city", "c"),)].value
+        if metrics.serve_rate is None:
+            assert math.isnan(value)
+        else:
+            assert value == metrics.serve_rate
+
+    def test_counters_monotone_across_scrapes(self):
+        registry = MetricsRegistry()
+        metrics = self._metrics()
+        bind_city_metrics(registry, metrics, city="porto")
+        label = (("city", "porto"),)
+        first = registry.collect()["repro_orders_total"][2][label].value
+        metrics.orders += 7
+        metrics.epochs += 1
+        second = registry.collect()["repro_orders_total"][2][label].value
+        assert second == first + 7
+
+
+class TestTransportStatsView:
+    def test_snapshot_keys_become_counters_and_gauges(self):
+        stats = TransportStats(transport="shm")
+        stats.record_shm(1, shm_bytes=1000, descriptor_bytes=64)
+        stats.record_pickle(2, wire_bytes=500, fallback=True)
+        registry = MetricsRegistry()
+        bind_transport_stats(registry, stats, city="porto")
+        collected = registry.collect()
+        label = (("city", "porto"),)
+        assert collected["repro_transport_shm_bytes_total"][2][label].value == 1000
+        assert collected["repro_transport_pickle_fallbacks_total"][2][label].value == 1
+        # bytes_over_pipe = descriptor + pickle bytes
+        assert (
+            collected["repro_transport_bytes_over_pipe_total"][2][label].value == 564
+        )
+        # shipment counts are monotone totals too
+        assert collected["repro_transport_shm_shipments_total"][0] == "counter"
+
+    def test_non_numeric_snapshot_keys_are_skipped(self):
+        registry = MetricsRegistry()
+        bind_transport_stats(registry, TransportStats(), kind="t")
+        names = set(registry.collect())
+        assert not any("transport_transport" in name for name in names)
+        assert not any("shard_bytes" in name for name in names)
+
+
+def test_default_buckets_are_sorted_and_span_expected_range():
+    assert list(DEFAULT_LATENCY_BUCKETS_S) == sorted(DEFAULT_LATENCY_BUCKETS_S)
+    assert DEFAULT_LATENCY_BUCKETS_S[0] == 0.005
+    assert DEFAULT_LATENCY_BUCKETS_S[-1] == 10.0

@@ -1,0 +1,221 @@
+"""Service observability: registry schema, /metrics endpoint, health schema,
+the bounded latency recorder, and counter monotonicity across epochs."""
+
+import asyncio
+import json
+import random
+import urllib.request
+
+import pytest
+
+from repro.obs import render_prometheus, start_http_server
+from repro.online.batch import BatchConfig
+from repro.service import DispatchService
+from repro.service.metrics import BUCKET_BOUNDS_S, CityMetrics, LatencyRecorder
+
+from ..conftest import build_random_instance
+
+CONFIG = BatchConfig(window_s=600.0)
+
+#: Key schema pinned for downstream dashboards (don't rename silently).
+HEALTH_KEYS = {"status", "ingest_queue_depth", "cities"}
+SNAPSHOT_KEYS = {
+    "orders", "batches", "epochs", "backpressure_events",
+    "serve_rate", "dispatch_latency", "append_latency_per_shard",
+}
+CITY_KEYS = SNAPSHOT_KEYS | {"shard_queue_depth", "open_orders"}
+SUMMARY_KEYS = {"count", "p50_ms", "p99_ms", "mean_ms", "max_ms"}
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return build_random_instance(task_count=60, driver_count=15, seed=39)
+
+
+def ordered_tasks(instance):
+    return sorted(instance.tasks, key=lambda t: t.publish_ts)
+
+
+class TestBoundedLatencyRecorder:
+    def test_exact_stats_beyond_reservoir_capacity(self):
+        recorder = LatencyRecorder()
+        rng = random.Random(7)
+        samples = [rng.uniform(0.0, 2.0) for _ in range(LatencyRecorder.CAPACITY * 3)]
+        for value in samples:
+            recorder.record(value)
+        summary = recorder.summary()
+        assert len(recorder) == len(samples)
+        assert summary["count"] == len(samples)
+        assert summary["max_ms"] == pytest.approx(max(samples) * 1000.0)
+        assert summary["mean_ms"] == pytest.approx(
+            sum(samples) / len(samples) * 1000.0
+        )
+
+    def test_memory_is_bounded(self):
+        recorder = LatencyRecorder()
+        for _ in range(LatencyRecorder.CAPACITY * 3):
+            recorder.record(0.01)
+        assert len(recorder._reservoir) <= LatencyRecorder.CAPACITY
+
+    def test_bucket_counts_sum_to_exact_count(self):
+        recorder = LatencyRecorder()
+        rng = random.Random(11)
+        for _ in range(10_000):
+            recorder.record(rng.uniform(0.0, 20.0))
+        counts = recorder.bucket_counts()
+        assert len(counts) == len(BUCKET_BOUNDS_S) + 1  # +Inf slot
+        assert sum(counts) == len(recorder) == 10_000
+
+    def test_summary_keys_unchanged(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.05)
+        assert set(recorder.summary()) == SUMMARY_KEYS
+
+    def test_reservoir_sampling_is_deterministic(self):
+        a, b = LatencyRecorder(), LatencyRecorder()
+        rng = random.Random(3)
+        samples = [rng.uniform(0.0, 1.0) for _ in range(20_000)]
+        for value in samples:
+            a.record(value)
+            b.record(value)
+        assert a.summary() == b.summary()
+
+    def test_percentiles_track_distribution(self):
+        recorder = LatencyRecorder()
+        rng = random.Random(5)
+        for _ in range(50_000):
+            recorder.record(rng.uniform(0.0, 1.0))
+        summary = recorder.summary()
+        # Uniform(0,1): p50 ~ 500ms, p99 ~ 990ms; the reservoir is 4096
+        # samples so allow a loose tolerance.
+        assert summary["p50_ms"] == pytest.approx(500.0, abs=50.0)
+        assert summary["p99_ms"] == pytest.approx(990.0, abs=30.0)
+
+
+class TestHealthSchema:
+    def test_snapshot_and_health_key_schema(self, instance):
+        async def scenario():
+            async with DispatchService() as service:
+                service.register_city("porto", instance.drivers, config=CONFIG)
+                for task in ordered_tasks(instance):
+                    await service.submit("porto", task)
+                await service.finish()
+                return service.health()
+
+        health = asyncio.run(scenario())
+        assert set(health) == HEALTH_KEYS
+        assert health["status"] == "ok"
+        city = health["cities"]["porto"]
+        assert CITY_KEYS <= set(city)  # transport key is pool-dependent
+        assert set(city["dispatch_latency"]) == SUMMARY_KEYS
+        json.dumps(health)  # endpoint-serialisable
+
+    def test_city_metrics_snapshot_schema(self):
+        snapshot = CityMetrics().snapshot()
+        assert set(snapshot) == SNAPSHOT_KEYS
+        json.dumps(snapshot)
+
+
+class TestServiceRegistry:
+    COUNTER_NAMES = (
+        "repro_orders_total", "repro_batches_total", "repro_epochs_total",
+        "repro_served_total", "repro_backpressure_events_total",
+    )
+
+    def _scrape(self, registry):
+        """Collect and copy counter values out (metrics are live objects)."""
+        label = (("city", "porto"),)
+        collected = registry.collect()
+        return {name: collected[name][2][label].value for name in self.COUNTER_NAMES}
+
+    def _run(self, instance, scrapes):
+        """Run a 2-epoch soak-let, scraping after each epoch; returns the
+        final rendered exposition."""
+
+        async def scenario():
+            async with DispatchService() as service:
+                service.register_city("porto", instance.drivers, config=CONFIG)
+                registry = service.metrics_registry()
+                tasks = ordered_tasks(instance)
+                half = len(tasks) // 2
+                for task in tasks[:half]:
+                    await service.submit("porto", task)
+                await service.rotate("porto")
+                scrapes.append(self._scrape(registry))
+                for task in tasks[half:]:
+                    await service.submit("porto", task)
+                await service.finish()
+                scrapes.append(self._scrape(registry))
+                return render_prometheus(registry)
+
+        return asyncio.run(scenario())
+
+    def test_counters_monotone_across_epochs(self, instance):
+        scrapes = []
+        self._run(instance, scrapes)
+        first, second = scrapes
+        for name in self.COUNTER_NAMES:
+            assert second[name] >= first[name], name
+        assert second["repro_orders_total"] == len(instance.tasks)
+        assert second["repro_epochs_total"] == 2
+
+    def test_exposition_parses_and_histograms_are_consistent(self, instance):
+        text = self._run(instance, [])
+        families = {}
+        for line in text.splitlines():
+            if line.startswith("#"):
+                parts = line.split()
+                assert parts[1] in ("HELP", "TYPE")
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # every sample value parses
+            families.setdefault(name_part.split("{")[0], []).append(float(value))
+        # histogram: +Inf bucket == _count for the dispatch latency family
+        buckets = families["repro_dispatch_latency_seconds_bucket"]
+        count = families["repro_dispatch_latency_seconds_count"][0]
+        assert buckets == sorted(buckets)
+        assert buckets[-1] == count
+        assert count > 0
+
+
+class TestMetricsEndpoint:
+    def test_scrape_live_service(self, instance):
+        def fetch(port, path):
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}{path}", timeout=5
+            ) as response:
+                return response.status, response.read()
+
+        async def scenario():
+            async with DispatchService() as service:
+                service.register_city("porto", instance.drivers, config=CONFIG)
+                registry = service.metrics_registry()
+                server = await start_http_server(
+                    lambda: registry, health_fn=service.health, port=0
+                )
+                port = server.sockets[0].getsockname()[1]
+                loop = asyncio.get_running_loop()
+                try:
+                    for task in ordered_tasks(instance):
+                        await service.submit("porto", task)
+                    await service.finish()
+                    status, body = await loop.run_in_executor(
+                        None, fetch, port, "/metrics"
+                    )
+                    health_status, health_body = await loop.run_in_executor(
+                        None, fetch, port, "/health"
+                    )
+                finally:
+                    server.close()
+                    await server.wait_closed()
+                return status, body, health_status, health_body
+
+        status, body, health_status, health_body = asyncio.run(scenario())
+        assert status == 200
+        text = body.decode("utf-8")
+        assert 'repro_orders_total{city="porto"}' in text
+        assert "repro_dispatch_latency_seconds_bucket" in text
+        assert health_status == 200
+        payload = json.loads(health_body)
+        assert payload["status"] == "ok"
+        assert "porto" in payload["cities"]

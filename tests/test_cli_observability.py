@@ -1,0 +1,117 @@
+"""The CLI's observability surface: --trace-out, --log-level, parser wiring."""
+
+import json
+import logging
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs import trace as obs_trace
+from repro.obs import logs as obs_logs
+
+
+@pytest.fixture(scope="module")
+def market_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-obs") / "market.json"
+    assert main(
+        ["build-market", "--trips", "30", "--drivers", "8", "--seed", "5",
+         "--output", str(path)]
+    ) == 0
+    return path
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    yield
+    obs_trace.disable_tracing()
+    root = logging.getLogger(obs_logs.ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_handler", False):
+            root.removeHandler(handler)
+    root.propagate = True
+    root.setLevel(logging.NOTSET)
+    obs_logs._configured_level = None
+
+
+class TestParser:
+    def test_trace_out_on_solve_scenario_run_and_serve(self):
+        parser = build_parser()
+        assert parser.parse_args(
+            ["solve", "--market", "m", "--trace-out", "t.json"]
+        ).trace_out == "t.json"
+        assert parser.parse_args(
+            ["scenario", "run", "--name", "x", "--trace-out", "t.json"]
+        ).trace_out == "t.json"
+        args = parser.parse_args(
+            ["serve", "--trace-out", "t.json", "--metrics-port", "9100"]
+        )
+        assert args.trace_out == "t.json"
+        assert args.metrics_port == 9100
+
+    def test_log_level_is_global(self):
+        args = build_parser().parse_args(["--log-level", "debug", "info", "--market", "m"])
+        assert args.log_level == "debug"
+
+    def test_unknown_log_level_is_a_clean_error(self, market_path):
+        with pytest.raises(SystemExit):
+            main(["--log-level", "chatty", "info", "--market", str(market_path)])
+
+
+class TestTraceOut:
+    def test_streamed_solve_writes_loadable_trace(self, market_path, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            ["solve", "--market", str(market_path), "--algorithm", "batched",
+             "--stream", "--executor", "process", "--grid", "2x2",
+             "--trace-out", str(trace_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace_path}" in out
+        payload = json.loads(trace_path.read_text())
+        events = payload["traceEvents"]
+        assert events
+        names = {event["name"] for event in events}
+        # Coordinator-side containers and worker-side hot-path leaves both
+        # made it into one file.
+        assert {"stream", "shard_stream", "candidates", "merge"} <= names
+        # Worker spans sit on their own (os pid) tracks, coordinator on 0.
+        assert len({event["pid"] for event in events}) >= 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0.0
+
+    def test_offline_solve_traces_exact_tier(self, market_path, tmp_path, capsys):
+        trace_path = tmp_path / "lp.json"
+        code = main(
+            ["solve", "--market", str(market_path), "--algorithm", "lp",
+             "--trace-out", str(trace_path)]
+        )
+        assert code == 0
+        names = {
+            event["name"]
+            for event in json.loads(trace_path.read_text())["traceEvents"]
+        }
+        assert "lp" in names
+        assert obs_trace.active_recorder() is None  # switch restored
+
+    def test_no_trace_out_means_no_recorder(self, market_path):
+        assert main(["solve", "--market", str(market_path)]) == 0
+        assert obs_trace.active_recorder() is None
+
+
+class TestLogLevel:
+    def test_log_level_configures_repro_tree(self, market_path):
+        assert main(
+            ["--log-level", "debug", "solve", "--market", str(market_path)]
+        ) == 0
+        assert obs_logs.configured_level() == logging.DEBUG
+        root = logging.getLogger(obs_logs.ROOT_LOGGER)
+        assert any(
+            getattr(handler, "_repro_handler", False) for handler in root.handlers
+        )
+
+    def test_env_fallback(self, market_path, monkeypatch):
+        monkeypatch.setenv(obs_logs.ENV_VAR, "warning")
+        assert main(["solve", "--market", str(market_path)]) == 0
+        assert obs_logs.configured_level() == logging.WARNING
